@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper's
+evaluation section.  Building the eight full-size model graphs is itself
+non-trivial work, so the models, dataflow graphs and merged clusterings are
+cached once per session here.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints its reproduced table (measured next to the paper's
+reported value) — run with ``-s`` to see the tables inline; the same
+numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis.speedup import ExperimentConfig
+from repro.clustering import linear_clustering, merge_clusters_fixpoint
+from repro.clustering.cluster import Clustering
+from repro.graph import model_to_dataflow
+from repro.graph.dataflow import DataflowGraph
+from repro.ir.model import Model
+from repro.models import build_all_models
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The overhead calibration used throughout the benchmark tables."""
+    return ExperimentConfig(num_cores=12, message_latency=4.0, per_cluster_overhead=20.0)
+
+
+@pytest.fixture(scope="session")
+def zoo_models() -> Dict[str, Model]:
+    """All eight full-size models of Table I."""
+    return build_all_models(variant="default")
+
+
+@pytest.fixture(scope="session")
+def zoo_dataflow(zoo_models, experiment_config) -> Dict[str, DataflowGraph]:
+    """Dataflow graphs for every zoo model."""
+    return {name: model_to_dataflow(model, cost_model=experiment_config.cost_model)
+            for name, model in zoo_models.items()}
+
+
+@pytest.fixture(scope="session")
+def zoo_lc_clusterings(zoo_dataflow) -> Dict[str, Clustering]:
+    """Raw linear clusterings (before merging) for every zoo model."""
+    return {name: linear_clustering(dfg) for name, dfg in zoo_dataflow.items()}
+
+
+@pytest.fixture(scope="session")
+def zoo_merged_clusterings(zoo_lc_clusterings) -> Dict[str, Clustering]:
+    """Merged clusterings for every zoo model."""
+    return {name: merge_clusters_fixpoint(lc) for name, lc in zoo_lc_clusterings.items()}
+
+
+def print_table(title: str, text: str) -> None:
+    """Print a reproduced table with a banner (visible with ``pytest -s``)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,51 @@
+"""Section V-E prose — Ramiel end-to-end compile times.
+
+The paper reports that Ramiel completes its code generation in a few
+seconds per model (NASNet, the largest graph, taking 9.7 s).  This harness
+measures the wall-clock of the full pipeline (prune + cluster + merge +
+sequential & parallel code generation) for every model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reports import format_rows
+from repro.pipeline import ramiel_compile
+
+from benchmarks.conftest import print_table
+
+PAPER_COMPILE_TIMES_S = {"squeezenet": 2.2, "inception_v3": 5.2, "nasnet": 9.7}
+
+
+def _compile_times(zoo_models):
+    rows = []
+    for name, model in zoo_models.items():
+        start = time.perf_counter()
+        result = ramiel_compile(model, prune=True, generate_code=True)
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "model": name,
+            "nodes": model.num_nodes,
+            "clusters": result.num_clusters,
+            "compile_time_s": round(elapsed, 2),
+            "paper_ct_s": PAPER_COMPILE_TIMES_S.get(name, "-"),
+        })
+    return rows
+
+
+def test_compile_time_all_models(benchmark, zoo_models):
+    rows = benchmark.pedantic(_compile_times, args=(zoo_models,), rounds=1, iterations=1)
+    print_table("Ramiel compile time per model (Section V-E)", format_rows(rows))
+    benchmark.extra_info["rows"] = rows
+
+    # The paper's point: every model compiles in seconds, even NASNet.
+    for row in rows:
+        assert row["compile_time_s"] < 60.0, row["model"]
+
+
+def test_compile_time_squeezenet_single(benchmark, zoo_models):
+    """Stable microbenchmark of one full pipeline run (Squeezenet)."""
+    model = zoo_models["squeezenet"]
+    benchmark.pedantic(lambda: ramiel_compile(model, generate_code=True),
+                       rounds=3, iterations=1)

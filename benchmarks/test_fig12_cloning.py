@@ -1,0 +1,45 @@
+"""Fig. 12 — performance uplift of cloned models versus non-cloned models."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_rows
+from repro.analysis.speedup import cluster_model
+from repro.clustering import clone_cheap_producers
+
+from benchmarks.conftest import print_table
+
+# The paper clones the smaller graphs and skips NASNet.
+MODELS = ["squeezenet", "googlenet", "inception_v3", "inception_v4", "bert", "retinanet"]
+
+
+def _cloning_rows(zoo_models, config):
+    sim = config.simulator()
+    rows = {}
+    for name in MODELS:
+        model = zoo_models[name]
+        base = sim.simulate(cluster_model(model, config))
+        cloned, report = clone_cheap_producers(model, cost_model=config.cost_model)
+        cloned_result = sim.simulate(cluster_model(cloned, config))
+        uplift = (base.sequential_time / cloned_result.makespan) / base.speedup - 1.0
+        rows[name] = {
+            "clones": report.clones_created,
+            "speedup_lc": round(base.speedup, 2),
+            "speedup_lc_clone": round(base.sequential_time / cloned_result.makespan, 2),
+            "uplift_pct": round(uplift * 100.0, 1),
+        }
+    return rows
+
+
+def test_fig12_cloning_uplift(benchmark, zoo_models, experiment_config):
+    rows = benchmark.pedantic(_cloning_rows, args=(zoo_models, experiment_config),
+                              rounds=1, iterations=1)
+    table = [{"model": name, **row} for name, row in rows.items()]
+    print_table("Fig. 12 — cloned vs non-cloned speedup", format_rows(table))
+    benchmark.extra_info["rows"] = rows
+
+    # Paper shape: cloning gives a moderate boost (up to ~8-12%) and never a
+    # large regression on these graphs.
+    assert any(row["uplift_pct"] > 0 for row in rows.values())
+    for name, row in rows.items():
+        assert row["uplift_pct"] > -10.0, name
+        assert row["uplift_pct"] < 40.0, name

@@ -1,0 +1,46 @@
+"""Fig. 13 — hyperclustering speedups for batch sizes 2, 4, 8 and 12.
+
+The paper plots the relative speedup of hyperclustered execution against
+the sequential version for increasing batch sizes, with and without
+downstream intra-op parallelism; the speedup grows with the batch size as
+the inter-cluster slack is filled.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_rows
+from repro.analysis.speedup import hypercluster_speedups
+
+from benchmarks.conftest import print_table
+
+MODELS = ["squeezenet", "googlenet", "inception_v3"]
+BATCH_SIZES = [1, 2, 4, 8, 12]
+
+
+def _series(zoo_models, config):
+    rows = {}
+    for name in MODELS:
+        plain = hypercluster_speedups(zoo_models[name], BATCH_SIZES, config,
+                                      switched=False, num_threads=1)
+        with_intra = hypercluster_speedups(zoo_models[name], BATCH_SIZES, config,
+                                           switched=False, num_threads=2)
+        rows[name] = {
+            **{f"b{b}": round(plain[b], 2) for b in BATCH_SIZES},
+            **{f"b{b}_intra2": round(with_intra[b], 2) for b in BATCH_SIZES},
+        }
+    return rows
+
+
+def test_fig13_hyperclustering_series(benchmark, zoo_models, experiment_config):
+    rows = benchmark.pedantic(_series, args=(zoo_models, experiment_config),
+                              rounds=1, iterations=1)
+    table = [{"model": name, **row} for name, row in rows.items()]
+    print_table("Fig. 13 — hyperclustering speedup vs batch size", format_rows(table))
+    benchmark.extra_info["rows"] = rows
+
+    for name, row in rows.items():
+        # Speedup is (weakly) increasing in the batch size and clearly higher
+        # than the batch-1 value by batch 8 — the figure's shape.
+        assert row["b8"] > row["b1"], name
+        assert row["b2"] >= row["b1"] * 0.98, name
+        assert row["b12"] >= row["b8"] * 0.9, name

@@ -1,0 +1,41 @@
+"""Table I — potential parallelism of the ML dataflow graphs.
+
+Regenerates the columns #Nodes, Wt. NodeCost, Wt. CP and ||ism for all
+eight models and prints them next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reports import render_comparison
+from repro.graph import potential_parallelism
+from repro.models import PAPER_TABLE1
+
+from benchmarks.conftest import print_table
+
+
+def _table1_rows(zoo_dataflow):
+    return {name: potential_parallelism(dfg).as_row() for name, dfg in zoo_dataflow.items()}
+
+
+def test_table1_potential_parallelism(benchmark, zoo_dataflow):
+    rows = benchmark.pedantic(_table1_rows, args=(zoo_dataflow,), rounds=1, iterations=1)
+    text = render_comparison(rows, PAPER_TABLE1, keys=["nodes", "parallelism"])
+    print_table("Table I — potential parallelism (measured vs paper)", text)
+    benchmark.extra_info["rows"] = rows
+
+    # Shape assertions: Squeezenet below 1, NASNet clearly the highest.
+    assert rows["squeezenet"]["parallelism"] < 1.0
+    assert rows["nasnet"]["parallelism"] == max(r["parallelism"] for r in rows.values())
+    for name in ("googlenet", "inception_v3", "inception_v4", "retinanet"):
+        assert 1.0 < rows[name]["parallelism"] < 2.0
+
+
+@pytest.mark.parametrize("name", ["squeezenet", "bert", "nasnet"])
+def test_table1_distance_pass_speed(benchmark, zoo_dataflow, name):
+    """Micro-benchmark: the distance/critical-path pass itself is near-linear."""
+    from repro.graph import compute_distance_to_end
+
+    dfg = zoo_dataflow[name]
+    benchmark(compute_distance_to_end, dfg)

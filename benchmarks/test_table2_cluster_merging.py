@@ -1,0 +1,36 @@
+"""Table II — number of clusters before and after cluster merging."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_comparison
+from repro.clustering import merge_clusters_fixpoint
+from repro.models import paper_reference
+
+from benchmarks.conftest import print_table
+
+
+def _merge_all(zoo_lc_clusterings):
+    return {name: merge_clusters_fixpoint(lc) for name, lc in zoo_lc_clusterings.items()}
+
+
+def test_table2_cluster_counts(benchmark, zoo_lc_clusterings):
+    merged = benchmark.pedantic(_merge_all, args=(zoo_lc_clusterings,), rounds=1, iterations=1)
+    rows = {
+        name: {"before": zoo_lc_clusterings[name].num_clusters,
+               "after": merged[name].num_clusters}
+        for name in zoo_lc_clusterings
+    }
+    paper = paper_reference("table2")
+    text = render_comparison(rows, paper, keys=["before", "after"])
+    print_table("Table II — clusters before/after merging (measured vs paper)", text)
+    benchmark.extra_info["rows"] = rows
+
+    for name, row in rows.items():
+        # Merging never increases the cluster count and, as in the paper,
+        # reduces it substantially for every model with many linear clusters.
+        assert row["after"] <= row["before"]
+        if row["before"] >= 20:
+            assert row["after"] <= row["before"] * 0.6 + 1, name
+    # The paper's exactly-reproduced cases.
+    assert rows["squeezenet"]["before"] == 9 and rows["squeezenet"]["after"] == 2
+    assert rows["retinanet"]["before"] == 16 and rows["retinanet"]["after"] == 10

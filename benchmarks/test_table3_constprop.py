@@ -1,0 +1,50 @@
+"""Table III — cluster counts after constant propagation and dead-code elimination.
+
+The paper reports the number of parallel clusters for Yolo V5, NASNet and
+BERT before and after the CP+DCE pruning: the prunable shape/constant
+chains otherwise generate their own clusters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_comparison
+from repro.analysis.speedup import ExperimentConfig, cluster_model
+from repro.models import paper_reference
+from repro.passes import optimize_model
+
+from benchmarks.conftest import print_table
+
+MODELS = ["yolo_v5", "nasnet", "bert"]
+
+
+def _cluster_counts(zoo_models, zoo_merged_clusterings, config):
+    rows = {}
+    for name in MODELS:
+        pruned, stats = optimize_model(zoo_models[name])
+        pruned_clustering = cluster_model(pruned, config)
+        rows[name] = {
+            "before_cp": zoo_merged_clusterings[name].num_clusters,
+            "after_cp": pruned_clustering.num_clusters,
+            "nodes_removed": stats["nodes_removed"],
+        }
+    return rows
+
+
+def test_table3_cluster_counts_after_cp_dce(benchmark, zoo_models,
+                                            zoo_merged_clusterings, experiment_config):
+    rows = benchmark.pedantic(
+        _cluster_counts, args=(zoo_models, zoo_merged_clusterings, experiment_config),
+        rounds=1, iterations=1)
+    paper = paper_reference("table3")
+    text = render_comparison(rows, paper, keys=["before_cp", "after_cp"])
+    print_table("Table III — clusters after constant propagation + DCE", text)
+    benchmark.extra_info["rows"] = rows
+
+    for name in MODELS:
+        # The paper's shape: all three models have prunable structure and the
+        # cluster count never grows (it shrinks for the models with whole
+        # prunable chains).
+        assert rows[name]["nodes_removed"] > 0, name
+        assert rows[name]["after_cp"] <= rows[name]["before_cp"], name
+    assert rows["nasnet"]["after_cp"] < rows["nasnet"]["before_cp"]
+    assert rows["bert"]["after_cp"] < rows["bert"]["before_cp"]

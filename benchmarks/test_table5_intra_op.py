@@ -1,0 +1,60 @@
+"""Table V — LC + downstream intra-op parallelism vs pure intra-op parallelism.
+
+The paper enables 2 and 4 OpenMP threads inside PyTorch operators and
+compares LC+intra-op against sequential-with-intra-op.  The simulator models
+intra-op parallelism as an Amdahl-style per-node scaling, so both the
+parallel and the sequential baseline speed up, and what remains is the
+extra benefit of the task-level clustering — including the paper's
+observed plateau when moving from 2 to 4 threads (oversubscription).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_rows
+
+from benchmarks.conftest import print_table
+
+MODELS = ["squeezenet", "googlenet", "inception_v3", "inception_v4", "retinanet", "nasnet"]
+PAPER_TABLE5 = {
+    "squeezenet": {"speedup_t2": 0.78, "speedup_t4": 0.67},
+    "googlenet": {"speedup_t2": 1.14, "speedup_t4": 1.00},
+    "inception_v3": {"speedup_t2": 1.27, "speedup_t4": 1.23},
+    "inception_v4": {"speedup_t2": 1.45, "speedup_t4": 1.18},
+    "retinanet": {"speedup_t2": 1.23, "speedup_t4": 1.12},
+    "nasnet": {"speedup_t2": 1.3, "speedup_t4": None},
+}
+
+
+def _intra_op_rows(zoo_merged_clusterings, config):
+    rows = {}
+    for name in MODELS:
+        clustering = zoo_merged_clusterings[name]
+        row = {}
+        for threads in (2, 4):
+            sim = config.simulator(num_threads=threads)
+            result = sim.simulate(clustering)
+            # Both Par and Seq have intra-op enabled (footnote of Table V).
+            row[f"par_t{threads}"] = round(result.makespan, 1)
+            row[f"seq_t{threads}"] = round(result.sequential_time, 1)
+            row[f"speedup_t{threads}"] = round(result.speedup, 2)
+        rows[name] = row
+    return rows
+
+
+def test_table5_lc_plus_intra_op(benchmark, zoo_merged_clusterings, experiment_config):
+    rows = benchmark.pedantic(_intra_op_rows, args=(zoo_merged_clusterings, experiment_config),
+                              rounds=1, iterations=1)
+    table = [{"model": name, **row,
+              "paper_t2": PAPER_TABLE5[name]["speedup_t2"],
+              "paper_t4": PAPER_TABLE5[name]["speedup_t4"]} for name, row in rows.items()]
+    print_table("Table V — LC + downstream intra-op parallelism", format_rows(table))
+    benchmark.extra_info["rows"] = rows
+
+    for name in MODELS:
+        # LC still helps the models with real task parallelism even when
+        # intra-op threads are enabled (the relative gain shrinks because
+        # the node durations shrink for both sides, diminishing-return shape).
+        if name != "squeezenet":
+            assert rows[name]["speedup_t2"] > 1.0, name
+    # Squeezenet keeps losing, as in the paper.
+    assert rows["squeezenet"]["speedup_t2"] < 1.05

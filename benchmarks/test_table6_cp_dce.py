@@ -1,0 +1,35 @@
+"""Table VI — LC speedup with and without constant propagation + DCE."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_comparison
+from repro.analysis.speedup import run_full_experiment
+from repro.models import paper_reference
+
+from benchmarks.conftest import print_table
+
+MODELS = ["yolo_v5", "bert", "nasnet"]
+
+
+def _rows(zoo_models, config):
+    rows = {}
+    for name in MODELS:
+        breakdown = run_full_experiment(zoo_models[name], config, apply_cloning=False)
+        rows[name] = {"s_lc": round(breakdown.s_lc, 2),
+                      "s_lc_dce": round(breakdown.s_lc_dce or breakdown.s_lc, 2)}
+    return rows
+
+
+def test_table6_cp_dce_speedups(benchmark, zoo_models, experiment_config):
+    rows = benchmark.pedantic(_rows, args=(zoo_models, experiment_config),
+                              rounds=1, iterations=1)
+    paper = paper_reference("table6")
+    text = render_comparison(rows, paper, keys=["s_lc", "s_lc_dce"])
+    print_table("Table VI — LC vs LC + CP + DCE", text)
+    benchmark.extra_info["rows"] = rows
+
+    # Shape: pruning never hurts and helps all three models (the paper's
+    # Yolo crosses from a slowdown to a speedup; NASNet gains the most).
+    for name in MODELS:
+        assert rows[name]["s_lc_dce"] >= rows[name]["s_lc"] - 0.02, name
+    assert rows["nasnet"]["s_lc_dce"] >= rows["yolo_v5"]["s_lc_dce"]

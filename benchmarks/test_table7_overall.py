@@ -1,0 +1,36 @@
+"""Table VII — overall speedups: LC, LC+CP/DCE, LC+cloning and the best of all."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_comparison
+from repro.analysis.speedup import run_full_experiment
+from repro.models import paper_reference
+
+from benchmarks.conftest import print_table
+
+
+def _rows(zoo_models, config):
+    rows = {}
+    for name, model in zoo_models.items():
+        breakdown = run_full_experiment(model, config)
+        rows[name] = breakdown.as_row()
+    return rows
+
+
+def test_table7_overall_speedups(benchmark, zoo_models, experiment_config):
+    rows = benchmark.pedantic(_rows, args=(zoo_models, experiment_config),
+                              rounds=1, iterations=1)
+    paper = paper_reference("table7")
+    text = render_comparison(rows, paper, keys=["s_lc", "s_lc_dce", "s_lc_clone", "s_overall"])
+    print_table("Table VII — overall speedup breakdown (measured vs paper)", text)
+    benchmark.extra_info["rows"] = rows
+
+    for name, row in rows.items():
+        # The combined optimizations never do worse than plain LC.
+        assert row["s_overall"] >= row["s_lc"] - 1e-9, name
+    # Paper shape: CNNs without constants rely on cloning for their uplift,
+    # the constant-heavy models rely on CP+DCE, NASNet stays the overall winner.
+    assert rows["squeezenet"]["s_lc_dce"] is None
+    assert rows["bert"]["s_lc_dce"] is not None
+    assert rows["nasnet"]["s_overall"] == max(r["s_overall"] for r in rows.values())
+    assert rows["squeezenet"]["s_overall"] < 1.1

@@ -1,0 +1,69 @@
+"""Table VIII — comparison with the Inter-Operator Scheduler (IOS).
+
+Measures, for Squeezenet, Inception and NASNet, the speedup and the
+compile time of (a) the full Ramiel pipeline (prune + cluster + merge +
+codegen) and (b) the IOS dynamic-programming stage scheduler, reproducing
+the paper's headline: comparable speedups at a compile-time that is one to
+two orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reports import format_rows
+from repro.analysis.speedup import run_full_experiment
+from repro.baselines import IOSScheduler
+from repro.models import paper_reference
+from repro.pipeline import ramiel_compile
+
+from benchmarks.conftest import print_table
+
+MODELS = ["squeezenet", "inception_v3", "nasnet"]
+
+
+def _compare(zoo_models, zoo_dataflow, config):
+    rows = {}
+    for name in MODELS:
+        model = zoo_models[name]
+        # Ramiel: full pipeline wall-clock (prune + cluster + codegen).
+        start = time.perf_counter()
+        ramiel_compile(model, prune=True, generate_code=True)
+        ramiel_ct = time.perf_counter() - start
+        breakdown = run_full_experiment(model, config)
+
+        # IOS: DP stage scheduler over the same dataflow graph.
+        ios = IOSScheduler(num_cores=config.num_cores).schedule(zoo_dataflow[name])
+
+        rows[name] = {
+            "speedup_ours": round(breakdown.s_overall, 2),
+            "ct_ours_s": round(ramiel_ct, 2),
+            "speedup_ios": round(ios.speedup, 2),
+            "ct_ios_s": round(ios.compile_time_s, 2),
+        }
+    return rows
+
+
+def test_table8_ios_comparison(benchmark, zoo_models, zoo_dataflow, experiment_config):
+    rows = benchmark.pedantic(_compare, args=(zoo_models, zoo_dataflow, experiment_config),
+                              rounds=1, iterations=1)
+    paper = paper_reference("table8")
+    table = [{"model": name, **row,
+              "paper_speedup_ours": paper[name]["speedup_ours"],
+              "paper_speedup_ios": paper[name]["speedup_ios"],
+              "paper_ct_ours_s": paper[name]["ct_ours_s"],
+              "paper_ct_ios_s": paper[name]["ct_ios_s"]} for name, row in rows.items()]
+    print_table("Table VIII — Ramiel vs IOS (speedup and compile time)", format_rows(table))
+    benchmark.extra_info["rows"] = rows
+
+    for name in MODELS:
+        # Ramiel compiles every model in seconds (the paper's headline),
+        # regardless of graph size.
+        assert rows[name]["ct_ours_s"] < 60.0, name
+    # On the large graph the DP scheduler's compile time dwarfs Ramiel's —
+    # the compile-time gap that motivates the paper (5400 s vs 9.7 s there).
+    assert rows["nasnet"]["ct_ios_s"] > 5 * rows["nasnet"]["ct_ours_s"]
+    # NASNet: Ramiel's schedule beats IOS (as in the paper); Squeezenet: IOS
+    # is at least competitive because Ramiel refuses to gain there.
+    assert rows["nasnet"]["speedup_ours"] > rows["nasnet"]["speedup_ios"]
+    assert rows["squeezenet"]["speedup_ios"] >= rows["squeezenet"]["speedup_ours"] - 0.1

@@ -1,0 +1,47 @@
+"""Compare Ramiel's linear clustering with the IOS dynamic-programming scheduler.
+
+Reproduces the Table VIII scenario on a reduced scale: for Squeezenet,
+Inception V3 and NASNet it runs both schedulers, printing the predicted
+speedup and — the paper's main point — the compile-time gap: linear
+clustering is a near-linear-time algorithm while IOS solves a subset
+dynamic program per stage.
+
+Run with::
+
+    python examples/compare_with_ios.py          # full-size graphs (slow-ish)
+    python examples/compare_with_ios.py --small  # reduced graphs
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis.speedup import ExperimentConfig, run_lc_experiment
+from repro.baselines import ios_schedule
+from repro.graph import model_to_dataflow
+from repro.models import build_model
+
+
+def main(variant: str = "default") -> None:
+    config = ExperimentConfig()
+    print(f"{'model':14s} {'Ramiel speedup':>14s} {'Ramiel CT(s)':>13s} "
+          f"{'IOS speedup':>12s} {'IOS CT(s)':>10s}")
+    for name in ["squeezenet", "inception_v3", "nasnet"]:
+        model = build_model(name, variant=variant)
+        experiment = run_lc_experiment(model, config)
+        dfg = model_to_dataflow(model, cost_model=config.cost_model)
+        start = time.perf_counter()
+        ios = ios_schedule(dfg, num_cores=config.num_cores)
+        ios_ct = time.perf_counter() - start
+        print(f"{name:14s} {experiment.speedup:14.2f} {experiment.compile_time_s:13.2f} "
+              f"{ios.speedup:12.2f} {ios_ct:10.2f}")
+    print("\nRamiel's clustering finishes in a fraction of the IOS search time "
+          "while producing comparable (NASNet: better) schedules — the Table VIII story.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--small", action="store_true", help="use reduced-size graphs")
+    args = parser.parse_args()
+    main(variant="small" if args.small else "default")

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Automatic Task Parallelization of Dataflow Graphs in ML/DL Models".
+
+The package implements **Ramiel**, the paper's end-to-end tool, together
+with every substrate it depends on:
+
+* :mod:`repro.ir` — an ONNX-like model IR (the input format),
+* :mod:`repro.models` — builders for the paper's eight benchmark models,
+* :mod:`repro.graph` — dataflow-graph conversion, cost model, critical path,
+* :mod:`repro.passes` — constant propagation / dead-code elimination,
+* :mod:`repro.clustering` — linear clustering, merging, cloning,
+  hyperclustering and schedule simulation (the paper's core contribution),
+* :mod:`repro.codegen` — readable parallel Python code generation,
+* :mod:`repro.runtime` — a numpy operator runtime plus process/thread
+  executors for the generated code,
+* :mod:`repro.baselines` — the IOS dynamic-programming scheduler and other
+  comparison points,
+* :mod:`repro.pipeline` — the Ramiel pipeline tying it all together.
+
+Quickstart::
+
+    from repro import ramiel_compile
+    from repro.models import build_model
+
+    model = build_model("squeezenet")
+    result = ramiel_compile(model)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.ir import Model, Graph, GraphBuilder
+from repro.graph import (
+    DataflowGraph,
+    model_to_dataflow,
+    potential_parallelism,
+    compute_metrics,
+)
+
+__all__ = [
+    "__version__",
+    "Model",
+    "Graph",
+    "GraphBuilder",
+    "DataflowGraph",
+    "model_to_dataflow",
+    "potential_parallelism",
+    "compute_metrics",
+    "ramiel_compile",
+    "RamielPipeline",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the heavier pipeline entry points.
+
+    Importing :mod:`repro.pipeline` pulls in codegen and the runtime; doing
+    it lazily keeps ``import repro`` cheap for users that only need the IR
+    or the graph analyses.
+    """
+    if name in ("ramiel_compile", "RamielPipeline", "PipelineConfig"):
+        from repro import pipeline as _pipeline
+
+        return getattr(_pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

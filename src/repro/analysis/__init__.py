@@ -1,0 +1,34 @@
+"""Analysis and reporting helpers for the paper's experiments.
+
+:mod:`repro.analysis.speedup` contains the experiment harness proper: for a
+given model it produces the LC / LC+CP+DCE / LC+cloning / hyperclustering
+speedups of Tables IV-VII and Figs. 12-14 via the schedule simulator (and,
+optionally, via real execution of the generated code).
+:mod:`repro.analysis.reports` renders result rows as aligned text tables.
+:mod:`repro.analysis.slack` summarizes per-cluster idle time from schedule
+results (the quantity hyperclustering exploits).
+"""
+
+from repro.analysis.speedup import (
+    ExperimentConfig,
+    ModelExperiment,
+    SpeedupBreakdown,
+    run_lc_experiment,
+    run_full_experiment,
+    measured_speedup,
+)
+from repro.analysis.reports import format_rows, render_comparison
+from repro.analysis.slack import slack_report, SlackReport
+
+__all__ = [
+    "ExperimentConfig",
+    "ModelExperiment",
+    "SpeedupBreakdown",
+    "run_lc_experiment",
+    "run_full_experiment",
+    "measured_speedup",
+    "format_rows",
+    "render_comparison",
+    "slack_report",
+    "SlackReport",
+]

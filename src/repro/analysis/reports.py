@@ -1,0 +1,38 @@
+"""Plain-text rendering of benchmark result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.graph.metrics import format_table
+
+
+def format_rows(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned table (delegates to the metrics helper)."""
+    return format_table(list(rows), columns=columns)
+
+
+def render_comparison(
+    measured: Mapping[str, Mapping],
+    paper: Mapping[str, Mapping],
+    keys: Sequence[str],
+    label_measured: str = "measured",
+    label_paper: str = "paper",
+) -> str:
+    """Render a per-model paper-vs-measured comparison table.
+
+    Parameters
+    ----------
+    measured / paper:
+        Mappings model-name -> row dict.
+    keys:
+        The row keys to compare (each produces a measured and a paper column).
+    """
+    rows: List[Dict] = []
+    for model in measured:
+        row: Dict = {"model": model}
+        for key in keys:
+            row[f"{key} ({label_measured})"] = measured[model].get(key)
+            row[f"{key} ({label_paper})"] = paper.get(model, {}).get(key)
+        rows.append(row)
+    return format_rows(rows)

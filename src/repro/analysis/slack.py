@@ -1,0 +1,60 @@
+"""Slack (idle-time) analysis of simulated schedules.
+
+"Every time a cluster waits to receive data from another cluster there
+arises a slack or gap" (Section III-E).  The slack report quantifies that
+per-cluster idle time; hyperclustering exists to fill it with work from
+other batch samples, so the Fig. 13/14 benchmarks print these reports to
+show the opportunity shrinking as the batch size grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.clustering.schedule import ScheduleResult
+
+
+@dataclasses.dataclass
+class SlackReport:
+    """Per-cluster idle time and aggregate utilization of one schedule."""
+
+    model_name: str
+    makespan: float
+    per_cluster_idle: Dict[int, float]
+    per_cluster_busy: Dict[int, float]
+
+    @property
+    def total_slack(self) -> float:
+        """Total idle time across clusters."""
+        return float(sum(self.per_cluster_idle.values()))
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean busy/(busy+idle) across clusters (1.0 = perfectly packed)."""
+        ratios: List[float] = []
+        for cid, busy in self.per_cluster_busy.items():
+            idle = self.per_cluster_idle.get(cid, 0.0)
+            denom = busy + idle
+            if denom > 0:
+                ratios.append(busy / denom)
+        return float(sum(ratios) / len(ratios)) if ratios else 1.0
+
+    def as_row(self) -> dict:
+        """Summary row."""
+        return {
+            "model": self.model_name,
+            "makespan": round(self.makespan, 1),
+            "total_slack": round(self.total_slack, 1),
+            "mean_utilization": round(self.mean_utilization, 3),
+        }
+
+
+def slack_report(result: ScheduleResult) -> SlackReport:
+    """Build a :class:`SlackReport` from a schedule simulation result."""
+    return SlackReport(
+        model_name=result.model_name,
+        makespan=result.makespan,
+        per_cluster_idle=dict(result.cluster_idle),
+        per_cluster_busy=dict(result.cluster_busy),
+    )

@@ -1,0 +1,27 @@
+"""Baseline schedulers the paper compares against (or that contextualize it).
+
+* :mod:`~repro.baselines.sequential` — the single-cluster "do nothing"
+  baseline (all speedups in the paper are relative to sequential execution).
+* :mod:`~repro.baselines.greedy_list_scheduler` — a classic HLFET-style
+  list scheduler using ``distance_to_end`` as the node priority; a useful
+  sanity baseline for the schedule simulator.
+* :mod:`~repro.baselines.ios_scheduler` — a reimplementation of the
+  Inter-Operator Scheduler of Ding et al. (IOS), the dynamic-programming
+  comparator of Table VIII.  IOS searches over *stages* (groups of
+  operators executed concurrently) with an exponential-in-width DP, which
+  is why its compile time is orders of magnitude larger than Ramiel's
+  linear clustering.
+"""
+
+from repro.baselines.sequential import sequential_clustering
+from repro.baselines.greedy_list_scheduler import list_schedule, ListScheduleResult
+from repro.baselines.ios_scheduler import IOSScheduler, IOSResult, ios_schedule
+
+__all__ = [
+    "sequential_clustering",
+    "list_schedule",
+    "ListScheduleResult",
+    "IOSScheduler",
+    "IOSResult",
+    "ios_schedule",
+]

@@ -1,0 +1,20 @@
+"""The sequential baseline: a single cluster containing every node."""
+
+from __future__ import annotations
+
+from repro.clustering.cluster import Cluster, Clustering
+from repro.graph.critical_path import compute_distance_to_end
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.traversal import topological_sort
+
+
+def sequential_clustering(dfg: DataflowGraph) -> Clustering:
+    """Place every node in one cluster, in topological order.
+
+    Simulating this clustering with zero per-cluster overhead reproduces the
+    sequential execution time that all the paper's speedups are measured
+    against.
+    """
+    order = topological_sort(dfg)
+    dist = compute_distance_to_end(dfg)
+    return Clustering(dfg=dfg, clusters=[Cluster(0, order)], distance_to_end=dist)

@@ -1,0 +1,151 @@
+"""Command-line front-end for Ramiel.
+
+Usage examples::
+
+    ramiel list                              # show the model zoo
+    ramiel analyze squeezenet                # Table-I style graph metrics
+    ramiel compile squeezenet -o out/        # full pipeline + generated code
+    ramiel compile bert --prune --clone
+    ramiel compile squeezenet --batch-size 4 --switched
+    ramiel run squeezenet --backend process  # compile, execute, report speedup
+
+The CLI is a thin wrapper over :func:`repro.pipeline.ramiel_compile`; every
+capability is also available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ramiel",
+        description="Automatic task parallelization of ML dataflow graphs "
+                    "(reproduction of Das & Rauchwerger).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the models available in the zoo")
+
+    analyze = sub.add_parser("analyze", help="print graph metrics (Table I style)")
+    analyze.add_argument("model", help="model name (e.g. squeezenet) or path to a saved model")
+    analyze.add_argument("--variant", default="default", choices=["default", "small"])
+
+    compile_p = sub.add_parser("compile", help="run the full Ramiel pipeline")
+    compile_p.add_argument("model")
+    compile_p.add_argument("--variant", default="default", choices=["default", "small"])
+    compile_p.add_argument("-o", "--output-dir", default=None,
+                           help="directory for the generated Python modules")
+    compile_p.add_argument("--no-prune", action="store_true",
+                           help="disable constant propagation / DCE")
+    compile_p.add_argument("--clone", action="store_true", help="enable task cloning")
+    compile_p.add_argument("--batch-size", type=int, default=1)
+    compile_p.add_argument("--switched", action="store_true",
+                           help="use switched hyperclusters (batch size > 1)")
+    compile_p.add_argument("--cores", type=int, default=12)
+    compile_p.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    run_p = sub.add_parser("run", help="compile and execute sequential vs parallel code")
+    run_p.add_argument("model")
+    run_p.add_argument("--variant", default="small", choices=["default", "small"])
+    run_p.add_argument("--backend", default="thread", choices=["thread", "process"])
+    run_p.add_argument("--repeats", type=int, default=3)
+    return parser
+
+
+def _load_model(name_or_path: str, variant: str):
+    from pathlib import Path
+
+    from repro.ir.serialization import load_model
+    from repro.models import build_model
+
+    path = Path(name_or_path)
+    if path.exists():
+        return load_model(path)
+    return build_model(name_or_path, variant=variant)
+
+
+def _cmd_list() -> int:
+    from repro.models import MODEL_REGISTRY
+
+    for name, spec in MODEL_REGISTRY.items():
+        print(f"{name:14s} {spec.description}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.graph import compute_metrics
+    from repro.graph.metrics import format_table
+
+    model = _load_model(args.model, args.variant)
+    metrics = compute_metrics(model)
+    print(format_table([metrics.as_row()]))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.pipeline import PipelineConfig, ramiel_compile
+
+    model = _load_model(args.model, args.variant)
+    config = PipelineConfig(
+        prune=not args.no_prune,
+        clone=args.clone,
+        batch_size=args.batch_size,
+        switched_hyperclusters=args.switched,
+        output_dir=args.output_dir,
+        num_cores=args.cores,
+    )
+    result = ramiel_compile(model, config=config)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for key, value in summary.items():
+            print(f"{key:24s} {value}")
+        if result.parallel_module is not None:
+            print(f"{'parallel module':24s} {result.parallel_module.path}")
+        if result.sequential_module is not None:
+            print(f"{'sequential module':24s} {result.sequential_module.path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.speedup import measured_speedup
+
+    model = _load_model(args.model, args.variant)
+    rng = np.random.default_rng(0)
+    inputs = {}
+    for info in model.graph.inputs:
+        shape = tuple(1 if d is None else d for d in (info.shape or (1,)))
+        if info.dtype.value.startswith("int"):
+            inputs[info.name] = rng.integers(0, 100, size=shape).astype(info.dtype.value)
+        else:
+            inputs[info.name] = rng.standard_normal(shape).astype(np.float32)
+    stats = measured_speedup(model, inputs, backend=args.backend, repeats=args.repeats)
+    for key, value in stats.items():
+        print(f"{key:16s} {value:.4f}" if isinstance(value, float) else f"{key:16s} {value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (exposed as the ``ramiel`` console script)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

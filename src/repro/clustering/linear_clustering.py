@@ -1,0 +1,112 @@
+"""Recursive critical-path-based Linear Clustering (Algorithm 1).
+
+The algorithm repeatedly extracts the longest remaining path of the graph:
+
+1. among the *ready* nodes (in-degree zero in the remaining graph), pick the
+   one with the largest ``distance_to_end``;
+2. walk greedily to the successor with the largest ``distance_to_end``,
+   zeroing out the other outgoing edges of the current node and all other
+   incoming edges of the chosen successor;
+3. when the walk cannot continue, the collected nodes form one linear
+   cluster; remove them and start again.
+
+Ties are broken by node insertion index so the clustering is deterministic.
+The per-node ``distance_to_end`` is computed once on the full graph, as in
+the paper's Distance pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.clustering.cluster import Cluster, Clustering
+from repro.graph.critical_path import compute_distance_to_end
+from repro.graph.dataflow import DataflowGraph
+
+
+def linear_clustering(
+    dfg: DataflowGraph,
+    distance_to_end: Optional[Dict[str, float]] = None,
+    include_edge_cost: bool = True,
+) -> Clustering:
+    """Cluster a dataflow graph into linear chains (Algorithm 1).
+
+    Parameters
+    ----------
+    dfg:
+        The dataflow graph to cluster (not modified).
+    distance_to_end:
+        Precomputed distance pass result; computed on the fly when omitted.
+    include_edge_cost:
+        Whether the distance pass charges unit edge costs (paper default).
+
+    Returns
+    -------
+    Clustering
+        Clusters are numbered in extraction order: cluster 0 is the first
+        critical path, cluster 1 the next-longest path of the remainder
+        graph, and so on.  Every node appears in exactly one cluster.
+    """
+    dist = distance_to_end or compute_distance_to_end(dfg, include_edge_cost)
+
+    # Mutable view of the remaining graph: successor/predecessor sets that we
+    # edit destructively, exactly like the edge removals in Algorithm 1.
+    remaining: Set[str] = set(dfg.node_names())
+    succ: Dict[str, List[str]] = {n: list(dfg.successors(n)) for n in remaining}
+    pred: Dict[str, List[str]] = {n: list(dfg.predecessors(n)) for n in remaining}
+    index = {n: dfg.node(n).index for n in remaining}
+
+    def sort_key(name: str) -> Tuple[float, int]:
+        # Larger distance first, then original order.
+        return (-dist[name], index[name])
+
+    clusters: List[Cluster] = []
+    cluster_id = 0
+
+    while remaining:
+        # Start a new critical path from the best ready node.
+        ready = [n for n in remaining if not pred[n]]
+        if not ready:
+            # The destructive edge removal can in principle leave only nodes
+            # whose recorded predecessors were already consumed; treat every
+            # remaining node whose predecessors are all gone as ready.
+            ready = [n for n in remaining
+                     if all(p not in remaining for p in pred[n])]
+        if not ready:  # pragma: no cover - defensive, cannot happen on a DAG
+            ready = list(remaining)
+        current = min(ready, key=sort_key)
+
+        path = [current]
+        remaining.discard(current)
+
+        while succ[current]:
+            candidates = [s for s in succ[current] if s in remaining]
+            if not candidates:
+                break
+            nxt = min(candidates, key=sort_key)
+
+            # Remove all outgoing edges of `current` other than current->nxt.
+            for other in succ[current]:
+                if other != nxt and current in pred.get(other, ()):
+                    pred[other] = [p for p in pred[other] if p != current]
+            succ[current] = [nxt]
+
+            # Remove all other incoming edges of `nxt`.
+            for other_pred in pred[nxt]:
+                if other_pred != current and nxt in succ.get(other_pred, ()):
+                    succ[other_pred] = [s for s in succ[other_pred] if s != nxt]
+            pred[nxt] = []
+
+            path.append(nxt)
+            remaining.discard(nxt)
+            current = nxt
+
+        clusters.append(Cluster(cluster_id, path))
+        cluster_id += 1
+
+        # Drop edges that point at already-clustered nodes so the ready set
+        # of the next iteration is computed on the remainder graph.
+        for name in remaining:
+            pred[name] = [p for p in pred[name] if p in remaining]
+
+    return Clustering(dfg=dfg, clusters=clusters, distance_to_end=dist)

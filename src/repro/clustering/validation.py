@@ -1,0 +1,102 @@
+"""Invariant checks for clusterings.
+
+These are used by the property-based tests and (cheaply) by the pipeline
+before code generation:
+
+* *partition*: every graph node appears in exactly one cluster;
+* *linearity*: inside an LC cluster, consecutive nodes are connected by a
+  dependence edge (clusters are paths) — only guaranteed before merging;
+* *schedulability*: the union of intra-cluster program order and
+  inter-cluster dependence edges is acyclic, i.e. executing each cluster's
+  node list in order with blocking receives cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.clustering.cluster import Clustering
+from repro.graph.dataflow import DataflowGraph
+
+
+class ClusteringError(AssertionError):
+    """Raised when a clustering violates a structural invariant."""
+
+
+def check_partition(clustering: Clustering) -> None:
+    """Every node of the graph must appear in exactly one cluster."""
+    seen: Dict[str, int] = {}
+    for cluster in clustering.clusters:
+        for node in cluster.nodes:
+            if node in seen:
+                raise ClusteringError(
+                    f"node {node!r} appears in clusters {seen[node]} and {cluster.cluster_id}"
+                )
+            seen[node] = cluster.cluster_id
+    graph_nodes = set(clustering.dfg.node_names())
+    missing = graph_nodes - set(seen)
+    extra = set(seen) - graph_nodes
+    if missing:
+        raise ClusteringError(f"nodes not covered by any cluster: {sorted(missing)[:5]}")
+    if extra:
+        raise ClusteringError(f"clusters reference unknown nodes: {sorted(extra)[:5]}")
+
+
+def check_linear(clustering: Clustering) -> None:
+    """Each cluster must be a path: consecutive nodes joined by an edge.
+
+    This property holds for the raw output of Algorithm 1; the merging pass
+    deliberately relaxes it (merged clusters are concatenations of paths).
+    """
+    dfg = clustering.dfg
+    for cluster in clustering.clusters:
+        for a, b in zip(cluster.nodes, cluster.nodes[1:]):
+            if not dfg.has_edge(a, b):
+                raise ClusteringError(
+                    f"cluster {cluster.cluster_id} is not linear: no edge {a!r} -> {b!r}"
+                )
+
+
+def check_acyclic_clusters(clustering: Clustering) -> None:
+    """The program order implied by the clustering must be deadlock-free.
+
+    Builds a graph whose edges are (a) every dataflow dependence and (b) an
+    edge between consecutive nodes of each cluster's execution order, and
+    verifies it is acyclic.
+    """
+    dfg = clustering.dfg
+    succ: Dict[str, Set[str]] = {n: set() for n in dfg.node_names()}
+    for edge in dfg.edges():
+        succ[edge.src].add(edge.dst)
+    for cluster in clustering.clusters:
+        for a, b in zip(cluster.nodes, cluster.nodes[1:]):
+            succ[a].add(b)
+
+    # Kahn's algorithm over the combined graph.
+    indegree: Dict[str, int] = {n: 0 for n in succ}
+    for srcs in succ.values():
+        for dst in srcs:
+            indegree[dst] += 1
+    ready = [n for n, d in indegree.items() if d == 0]
+    visited = 0
+    while ready:
+        node = ready.pop()
+        visited += 1
+        for dst in succ[node]:
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+    if visited != len(succ):
+        stuck = sorted(n for n, d in indegree.items() if d > 0)[:8]
+        raise ClusteringError(
+            f"clustering of {dfg.name!r} induces an ordering cycle (e.g. {stuck})"
+        )
+
+
+def validate_clustering(clustering: Clustering, linear: bool = False) -> Clustering:
+    """Run all applicable invariant checks; returns the clustering unchanged."""
+    check_partition(clustering)
+    if linear:
+        check_linear(clustering)
+    check_acyclic_clusters(clustering)
+    return clustering

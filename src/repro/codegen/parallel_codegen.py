@@ -1,0 +1,226 @@
+"""Parallel code generation (Algorithm 4).
+
+For every cluster Ramiel emits one Python function.  Inside a cluster
+function the nodes execute in the cluster's order; every tensor dependence
+whose producer lives in a *different* cluster becomes a ``channels[...].get()``
+immediately before the consuming statement, and every value consumed by a
+*different* cluster is ``put()`` on the corresponding channel immediately
+after it is produced — exactly the structure of the paper's Fig. 11 snippet.
+
+The generated module is plain, readable Python with no dependency beyond
+numpy and :mod:`repro.runtime.functional`; the driver that forks one Python
+process (or thread) per cluster lives in
+:mod:`repro.runtime.process_runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.clustering.cluster import Clustering
+from repro.codegen.emitter import CodeEmitter
+from repro.codegen.op_lowering import lower_node
+from repro.codegen.ssa import SSANamer
+from repro.ir.model import Graph, Model
+
+
+def channel_name(value: str, src_cluster: int, dst_cluster: int) -> str:
+    """Deterministic, readable channel key for one cross-cluster tensor."""
+    safe_value = value.replace("@", "_").replace("/", "_")
+    return f"c{src_cluster}_to_c{dst_cluster}__{safe_value}"
+
+
+def _base_value(node_output: str) -> str:
+    return node_output
+
+
+class _ClusterCodegen:
+    """Generates one cluster function."""
+
+    def __init__(self, graph: Graph, clustering: Clustering, cluster_index: int,
+                 node_of: Dict[str, object], owner: Dict[str, int]) -> None:
+        self.graph = graph
+        self.clustering = clustering
+        self.cluster = clustering.clusters[cluster_index]
+        self.cluster_index = cluster_index
+        self.node_of = node_of
+        self.owner = owner
+        self.namer = SSANamer()
+        self.received: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _producer_cluster(self, value: str) -> Optional[int]:
+        producer = self.producers.get(value)
+        if producer is None:
+            return None
+        return self.owner[producer]
+
+    def _value_expr(self, value: str) -> str:
+        if value in self.namer or value in self.received:
+            return self.namer.name_for(value)
+        if value in self.graph.initializers:
+            return f"weights[{value!r}]"
+        if value in self.graph.input_names:
+            return f"inputs[{value!r}]"
+        return self.namer.name_for(value)
+
+    # ------------------------------------------------------------------
+    def emit(self, em: CodeEmitter, producers: Dict[str, str],
+             consumers_of: Dict[str, List[str]], outputs_needed: Set[str]) -> List[str]:
+        """Emit the cluster function; returns graph outputs produced here."""
+        self.producers = producers
+        cluster_id = self.cluster.cluster_id
+        produced_graph_outputs: List[str] = []
+
+        with em.block(f"def cluster_{self.cluster_index}(inputs, weights, channels):"):
+            em.docstring(
+                f"Cluster {cluster_id} of model {self.graph.name!r} "
+                f"({len(self.cluster.nodes)} operations).\n\n"
+                "Receives remote tensors with ``channels[...].get()`` right before\n"
+                "they are needed and sends locally produced tensors consumed by\n"
+                "other clusters with ``channels[...].put()`` right after producing\n"
+                "them (Algorithm 4)."
+            )
+            for node_name in self.cluster.nodes:
+                node = self.node_of[node_name]
+
+                # Receive every remote dependence of this node that has not
+                # been received by this cluster yet.
+                for value in node.present_inputs:
+                    producer = producers.get(value)
+                    if producer is None:
+                        continue  # graph input or initializer
+                    src_cluster = self.owner[producer]
+                    if src_cluster == cluster_id or value in self.received:
+                        continue
+                    var = self.namer.name_for(value)
+                    chan = channel_name(value, src_cluster, cluster_id)
+                    em.line(f"{var} = channels[{chan!r}].get()"
+                            f"  # recv {value!r} from cluster {src_cluster}")
+                    self.received.add(value)
+
+                input_exprs = [self._value_expr(v) for v in node.present_inputs]
+                output_vars = [self.namer.name_for(out) for out in node.outputs if out]
+                em.comment(f"{node.op_type} node {node.name!r}")
+                for stmt in lower_node(node, input_exprs, output_vars):
+                    em.line(stmt)
+
+                # Send every output needed by a remote cluster (once per
+                # (value, destination cluster) pair).
+                for value in node.outputs:
+                    if not value:
+                        continue
+                    remote_clusters = sorted({
+                        self.owner[consumer] for consumer in consumers_of.get(value, [])
+                        if self.owner[consumer] != cluster_id
+                    })
+                    for dst in remote_clusters:
+                        chan = channel_name(value, cluster_id, dst)
+                        em.line(f"channels[{chan!r}].put({self.namer.name_for(value)})"
+                                f"  # send {value!r} -> cluster {dst}")
+                    if value in outputs_needed:
+                        produced_graph_outputs.append(value)
+
+            if produced_graph_outputs:
+                em.line("return {")
+                em.indent()
+                for out in produced_graph_outputs:
+                    em.line(f"{out!r}: {self.namer.name_for(out)},")
+                em.dedent()
+                em.line("}")
+            else:
+                em.line("return {}")
+        return produced_graph_outputs
+
+
+def collect_channels(graph: Graph, clustering: Clustering) -> List[str]:
+    """All channel names implied by the clustering's cross-cluster dependences."""
+    producers = {out: node.name for node in graph.nodes for out in node.outputs if out}
+    owner = clustering.assignment()
+    channels: Set[str] = set()
+    for node in graph.nodes:
+        dst = owner[node.name]
+        for value in node.present_inputs:
+            producer = producers.get(value)
+            if producer is None:
+                continue
+            src = owner[producer]
+            if src != dst:
+                channels.add(channel_name(value, src, dst))
+    return sorted(channels)
+
+
+def generate_parallel_source(model: Model, clustering: Clustering) -> str:
+    """Generate the parallel module source for a model and its clustering.
+
+    The clustering must cover exactly the nodes of ``model.graph`` (i.e. it
+    was computed from a dataflow graph derived from this model, possibly
+    after pruning/cloning transformations that are already reflected in the
+    model).
+    """
+    graph = model.graph
+    node_of = {node.name: node for node in graph.nodes}
+    missing = [name for c in clustering.clusters for name in c.nodes if name not in node_of]
+    if missing:
+        raise ValueError(
+            f"clustering references nodes absent from the model graph: {missing[:5]}"
+        )
+
+    producers = {out: node.name for node in graph.nodes for out in node.outputs if out}
+    consumers_of: Dict[str, List[str]] = {}
+    for node in graph.nodes:
+        for value in node.present_inputs:
+            consumers_of.setdefault(value, []).append(node.name)
+    owner = clustering.assignment()
+    outputs_needed = set(graph.output_names)
+
+    em = CodeEmitter()
+    em.docstring(
+        f"Parallel inference code generated by Ramiel for model {model.name!r}.\n\n"
+        f"{clustering.num_clusters} clusters; each ``cluster_i`` function runs on its\n"
+        "own core (one Python process, per the paper) and exchanges tensors with\n"
+        "the other clusters through the ``channels`` mapping of queues."
+    )
+    em.blank()
+    em.line("import numpy as np")
+    em.blank()
+    em.line("import repro.runtime.functional as F")
+    em.blank(2)
+    em.line(f"MODEL_NAME = {model.name!r}")
+    em.line(f"NUM_CLUSTERS = {clustering.num_clusters}")
+    em.line(f"GRAPH_INPUTS = {list(graph.input_names)!r}")
+    em.line(f"GRAPH_OUTPUTS = {list(graph.output_names)!r}")
+    channels = collect_channels(graph, clustering)
+    em.line(f"CHANNEL_NAMES = {channels!r}")
+    em.blank(2)
+
+    cluster_outputs: Dict[int, List[str]] = {}
+    for index in range(clustering.num_clusters):
+        codegen = _ClusterCodegen(graph, clustering, index, node_of, owner)
+        produced = codegen.emit(em, producers, consumers_of, outputs_needed)
+        cluster_outputs[index] = produced
+        em.blank(2)
+
+    em.line("CLUSTER_FUNCTIONS = [" + ", ".join(
+        f"cluster_{i}" for i in range(clustering.num_clusters)) + "]")
+    em.line(f"CLUSTER_OUTPUTS = {cluster_outputs!r}")
+    em.blank(2)
+    with em.block("def run_parallel(inputs, weights, backend='thread', num_workers=None):"):
+        em.docstring(
+            "Convenience driver: execute all clusters with the repro runtime.\n\n"
+            "``backend`` is 'thread', 'process' or 'serial'."
+        )
+        em.line("from repro.runtime.process_runtime import execute_generated_module")
+        em.line("import sys")
+        em.line("module = sys.modules[__name__]")
+        em.line("return execute_generated_module(module, inputs, weights, backend=backend)")
+    return em.source()
+
+
+def generate_parallel_module(model: Model, clustering: Clustering,
+                             directory: Optional[str] = None):
+    """Generate, write and import the parallel module; returns a GeneratedModule."""
+    from repro.codegen.module_writer import write_module
+
+    source = generate_parallel_source(model, clustering)
+    return write_module(source, f"{model.name}_parallel", directory=directory)

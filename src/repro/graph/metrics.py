@@ -1,0 +1,102 @@
+"""Graph metric reports (the data behind Table I)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.graph.dataflow import DataflowGraph, model_to_dataflow
+from repro.graph.parallelism import ParallelismReport, potential_parallelism
+from repro.graph.traversal import graph_levels
+from repro.ir.model import Model
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphMetrics:
+    """Structural and cost metrics of one model's dataflow graph."""
+
+    model_name: str
+    num_nodes: int
+    num_edges: int
+    num_sources: int
+    num_sinks: int
+    depth: int
+    max_width: int
+    max_fan_out: int
+    total_node_cost: float
+    critical_path_cost: float
+    parallelism: float
+    op_histogram: Dict[str, int]
+
+    def as_row(self) -> dict:
+        """Table-I-shaped row plus extra structural columns."""
+        return {
+            "model": self.model_name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "wt_node_cost": round(self.total_node_cost, 1),
+            "wt_cp": round(self.critical_path_cost, 1),
+            "parallelism": round(self.parallelism, 2),
+            "depth": self.depth,
+            "max_width": self.max_width,
+            "max_fan_out": self.max_fan_out,
+        }
+
+
+def compute_metrics(
+    source,
+    cost_model: Optional[CostModel] = None,
+) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for a model or dataflow graph."""
+    cm = cost_model or DEFAULT_COST_MODEL
+    if isinstance(source, Model):
+        dfg = model_to_dataflow(source, cost_model=cm)
+    elif isinstance(source, DataflowGraph):
+        dfg = source
+    else:
+        raise TypeError(f"expected Model or DataflowGraph, got {type(source)!r}")
+
+    report: ParallelismReport = potential_parallelism(dfg, cost_model=cm)
+    levels = graph_levels(dfg)
+    width_by_level: Dict[int, int] = {}
+    for level in levels.values():
+        width_by_level[level] = width_by_level.get(level, 0) + 1
+    max_fan_out = max((dfg.out_degree(n) for n in dfg.node_names()), default=0)
+
+    return GraphMetrics(
+        model_name=dfg.name,
+        num_nodes=len(dfg),
+        num_edges=dfg.num_edges(),
+        num_sources=len(dfg.source_nodes()),
+        num_sinks=len(dfg.sink_nodes()),
+        depth=(max(levels.values()) + 1) if levels else 0,
+        max_width=max(width_by_level.values()) if width_by_level else 0,
+        max_fan_out=max_fan_out,
+        total_node_cost=report.total_node_cost,
+        critical_path_cost=report.critical_path_cost,
+        parallelism=report.parallelism,
+        op_histogram=dfg.op_type_histogram(),
+    )
+
+
+def metrics_table(
+    models: Iterable,
+    cost_model: Optional[CostModel] = None,
+) -> List[dict]:
+    """Compute Table-I rows for a sequence of models/dataflow graphs."""
+    return [compute_metrics(m, cost_model=cost_model).as_row() for m in models]
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows)) for c in cols}
+    header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""ONNX-like intermediate representation (IR) for ML/DL dataflow graphs.
+
+The paper's tool, Ramiel, ingests ONNX models.  The ``onnx`` package is not
+available in this environment, so this subpackage provides an in-memory IR
+with the same essential vocabulary:
+
+* :class:`~repro.ir.tensor.TensorInfo` — a named, typed, shaped tensor value
+  (the analogue of ONNX ``ValueInfoProto``).
+* :class:`~repro.ir.node.OpNode` — a single operator invocation with named
+  inputs/outputs and typed attributes (the analogue of ``NodeProto``).
+* :class:`~repro.ir.model.Graph` and :class:`~repro.ir.model.Model` — a
+  dataflow graph with inputs, outputs, initializers (weights/constants) and
+  its enclosing model container (``GraphProto`` / ``ModelProto``).
+* :mod:`~repro.ir.opset` — a registry of operator schemas (arity, attribute
+  signatures, operator *kind* used by the cost model, and shape-inference
+  hooks).
+* :class:`~repro.ir.builder.GraphBuilder` — a fluent construction API used
+  by the model zoo in :mod:`repro.models`.
+
+Models serialize to/from JSON via :mod:`repro.ir.serialization`, providing a
+frozen-graph interchange format that plays the role ONNX files play in the
+paper's pipeline.
+"""
+
+from repro.ir.dtypes import DType, dtype_to_numpy, numpy_to_dtype
+from repro.ir.tensor import TensorInfo, Shape
+from repro.ir.attributes import Attribute, AttributeType
+from repro.ir.node import OpNode
+from repro.ir.model import Graph, Model
+from repro.ir.opset import OpSchema, OpKind, get_schema, has_schema, register_op, registered_ops
+from repro.ir.builder import GraphBuilder
+from repro.ir.validation import ValidationError, validate_graph, validate_model
+from repro.ir.serialization import (
+    model_to_dict,
+    model_from_dict,
+    save_model,
+    load_model,
+)
+from repro.ir.shape_inference import infer_shapes, ShapeInferenceError
+
+__all__ = [
+    "DType",
+    "dtype_to_numpy",
+    "numpy_to_dtype",
+    "TensorInfo",
+    "Shape",
+    "Attribute",
+    "AttributeType",
+    "OpNode",
+    "Graph",
+    "Model",
+    "OpSchema",
+    "OpKind",
+    "get_schema",
+    "has_schema",
+    "register_op",
+    "registered_ops",
+    "GraphBuilder",
+    "ValidationError",
+    "validate_graph",
+    "validate_model",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+    "infer_shapes",
+    "ShapeInferenceError",
+]

@@ -1,0 +1,135 @@
+"""Typed operator attributes.
+
+ONNX nodes carry a bag of named attributes (ints, floats, strings, int
+lists, tensors).  We mirror that with a small tagged-value class so that
+attribute round-trips through JSON serialization are loss-less and so the
+code generator can render attributes back into Python literals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, List, Sequence, Union
+
+import numpy as np
+
+from repro.ir.dtypes import numpy_to_dtype, dtype_to_numpy, parse_dtype
+
+
+class AttributeType(enum.Enum):
+    """Tag describing the payload type of an :class:`Attribute`."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    INTS = "ints"
+    FLOATS = "floats"
+    STRINGS = "strings"
+    TENSOR = "tensor"
+    BOOL = "bool"
+
+
+@dataclasses.dataclass
+class Attribute:
+    """A single named, typed attribute value attached to an operator node."""
+
+    name: str
+    type: AttributeType
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Attribute requires a non-empty name")
+        self.value = _coerce(self.type, self.value)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_value(cls, name: str, value: Any) -> "Attribute":
+        """Infer the attribute type from a plain Python/numpy value."""
+        if isinstance(value, Attribute):
+            return Attribute(name, value.type, value.value)
+        if isinstance(value, bool):
+            return cls(name, AttributeType.BOOL, value)
+        if isinstance(value, (int, np.integer)):
+            return cls(name, AttributeType.INT, int(value))
+        if isinstance(value, (float, np.floating)):
+            return cls(name, AttributeType.FLOAT, float(value))
+        if isinstance(value, str):
+            return cls(name, AttributeType.STRING, value)
+        if isinstance(value, np.ndarray):
+            return cls(name, AttributeType.TENSOR, value)
+        if isinstance(value, (list, tuple)):
+            if len(value) == 0:
+                return cls(name, AttributeType.INTS, [])
+            first = value[0]
+            if isinstance(first, str):
+                return cls(name, AttributeType.STRINGS, list(value))
+            if isinstance(first, (float, np.floating)) and not isinstance(first, (int, np.integer)):
+                return cls(name, AttributeType.FLOATS, [float(v) for v in value])
+            if all(isinstance(v, (int, np.integer, bool)) for v in value):
+                return cls(name, AttributeType.INTS, [int(v) for v in value])
+            return cls(name, AttributeType.FLOATS, [float(v) for v in value])
+        raise TypeError(f"cannot infer attribute type for {name}={value!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dictionary form."""
+        value = self.value
+        if self.type is AttributeType.TENSOR:
+            arr: np.ndarray = value
+            value = {
+                "dtype": numpy_to_dtype(arr.dtype).value,
+                "shape": list(arr.shape),
+                "data": arr.ravel().tolist(),
+            }
+        return {"name": self.name, "type": self.type.value, "value": value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Attribute":
+        """Inverse of :meth:`to_dict`."""
+        atype = AttributeType(data["type"])
+        value = data["value"]
+        if atype is AttributeType.TENSOR:
+            np_dtype = dtype_to_numpy(parse_dtype(value["dtype"]))
+            arr = np.asarray(value["data"], dtype=np_dtype).reshape(value["shape"])
+            value = arr
+        return cls(name=data["name"], type=atype, value=value)
+
+    def copy(self) -> "Attribute":
+        """Deep-enough copy (tensor payloads are copied)."""
+        value = self.value.copy() if isinstance(self.value, np.ndarray) else self.value
+        if isinstance(value, list):
+            value = list(value)
+        return Attribute(self.name, self.type, value)
+
+
+def _coerce(atype: AttributeType, value: Any) -> Any:
+    """Validate/coerce a raw value against its declared attribute type."""
+    if atype is AttributeType.INT:
+        return int(value)
+    if atype is AttributeType.FLOAT:
+        return float(value)
+    if atype is AttributeType.BOOL:
+        return bool(value)
+    if atype is AttributeType.STRING:
+        return str(value)
+    if atype is AttributeType.INTS:
+        return [int(v) for v in value]
+    if atype is AttributeType.FLOATS:
+        return [float(v) for v in value]
+    if atype is AttributeType.STRINGS:
+        return [str(v) for v in value]
+    if atype is AttributeType.TENSOR:
+        return np.asarray(value)
+    raise TypeError(f"unknown attribute type {atype}")
+
+
+def attrs_from_kwargs(**kwargs: Any) -> List[Attribute]:
+    """Build a list of attributes from keyword arguments (Nones dropped)."""
+    out: List[Attribute] = []
+    for name, value in kwargs.items():
+        if value is None:
+            continue
+        out.append(Attribute.from_value(name, value))
+    return out

@@ -1,0 +1,297 @@
+"""Operator schema registry.
+
+Every operator the model zoo emits is registered here with:
+
+* its *kind* (used by the static cost model of
+  :mod:`repro.graph.cost_model` — e.g. heavy ``CONV``/``GEMM`` ops versus
+  unit-cost ``ELEMENTWISE`` ops versus near-free ``SHAPE`` metadata ops),
+* its input arity bounds,
+* the number of outputs it produces, and
+* the names of the attributes it understands.
+
+The registry intentionally mirrors (a subset of) the ONNX operator set so
+that graphs written against it read like ONNX graphs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """Coarse operator categories used by the cost model and the passes."""
+
+    CONV = "conv"                 # convolutions — the heavy hitters
+    GEMM = "gemm"                 # matmul / gemm / linear layers
+    POOL = "pool"                 # pooling ops
+    NORMALIZATION = "normalization"
+    ACTIVATION = "activation"     # elementwise nonlinearities
+    ELEMENTWISE = "elementwise"   # binary/unary arithmetic
+    REDUCTION = "reduction"
+    CONCAT = "concat"             # concat / split / stack
+    MOVEMENT = "movement"         # reshape / transpose / slice / gather
+    SHAPE = "shape"               # pure metadata ops (Shape, Constant, Cast…)
+    CONTROL = "control"           # identity / dropout(eval) / no-ops
+    EMBEDDING = "embedding"       # gather-based table lookups
+    SOFTMAX = "softmax"
+    RESIZE = "resize"
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSchema:
+    """Static description of one operator type."""
+
+    op_type: str
+    kind: OpKind
+    min_inputs: int = 1
+    max_inputs: Optional[int] = 1
+    num_outputs: int = 1
+    attributes: Tuple[str, ...] = ()
+    commutative: bool = False
+    doc: str = ""
+
+    def accepts_arity(self, n: int) -> bool:
+        """True when ``n`` inputs is a legal arity for this operator."""
+        if n < self.min_inputs:
+            return False
+        if self.max_inputs is not None and n > self.max_inputs:
+            return False
+        return True
+
+
+_REGISTRY: Dict[str, OpSchema] = {}
+
+
+def register_op(schema: OpSchema) -> OpSchema:
+    """Register (or overwrite) an operator schema."""
+    _REGISTRY[schema.op_type] = schema
+    return schema
+
+
+def get_schema(op_type: str) -> OpSchema:
+    """Return the schema for ``op_type``.
+
+    Raises
+    ------
+    KeyError
+        If the operator was never registered.
+    """
+    try:
+        return _REGISTRY[op_type]
+    except KeyError as exc:
+        raise KeyError(
+            f"operator {op_type!r} is not registered in the opset; "
+            f"known ops: {sorted(_REGISTRY)[:10]}..."
+        ) from exc
+
+
+def has_schema(op_type: str) -> bool:
+    """True when ``op_type`` is a registered operator."""
+    return op_type in _REGISTRY
+
+
+def registered_ops() -> List[str]:
+    """Sorted list of all registered operator type names."""
+    return sorted(_REGISTRY)
+
+
+def ops_of_kind(kind: OpKind) -> List[str]:
+    """All registered operators of a given kind."""
+    return sorted(name for name, schema in _REGISTRY.items() if schema.kind == kind)
+
+
+def _reg(
+    op_type: str,
+    kind: OpKind,
+    min_inputs: int = 1,
+    max_inputs: Optional[int] = 1,
+    num_outputs: int = 1,
+    attributes: Iterable[str] = (),
+    commutative: bool = False,
+    doc: str = "",
+) -> None:
+    register_op(
+        OpSchema(
+            op_type=op_type,
+            kind=kind,
+            min_inputs=min_inputs,
+            max_inputs=max_inputs,
+            num_outputs=num_outputs,
+            attributes=tuple(attributes),
+            commutative=commutative,
+            doc=doc,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Convolution / pooling
+# ---------------------------------------------------------------------------
+_reg(
+    "Conv",
+    OpKind.CONV,
+    min_inputs=2,
+    max_inputs=3,
+    attributes=("kernel_shape", "strides", "pads", "dilations", "group"),
+    doc="2D convolution: X, W[, B] -> Y (NCHW layout).",
+)
+_reg(
+    "ConvTranspose",
+    OpKind.CONV,
+    min_inputs=2,
+    max_inputs=3,
+    attributes=("kernel_shape", "strides", "pads", "output_padding", "group"),
+    doc="Transposed (fractionally strided) convolution.",
+)
+_reg(
+    "MaxPool",
+    OpKind.POOL,
+    attributes=("kernel_shape", "strides", "pads", "ceil_mode"),
+    doc="2D max pooling.",
+)
+_reg(
+    "AveragePool",
+    OpKind.POOL,
+    attributes=("kernel_shape", "strides", "pads", "ceil_mode", "count_include_pad"),
+    doc="2D average pooling.",
+)
+_reg("GlobalAveragePool", OpKind.POOL, doc="Spatial global average pooling.")
+_reg("GlobalMaxPool", OpKind.POOL, doc="Spatial global max pooling.")
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+_reg("MatMul", OpKind.GEMM, min_inputs=2, max_inputs=2, doc="Batched matrix multiply.")
+_reg(
+    "Gemm",
+    OpKind.GEMM,
+    min_inputs=2,
+    max_inputs=3,
+    attributes=("alpha", "beta", "transA", "transB"),
+    doc="General matrix multiply with optional bias: alpha*A@B + beta*C.",
+)
+_reg("Einsum", OpKind.GEMM, min_inputs=1, max_inputs=None, attributes=("equation",))
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+_reg(
+    "BatchNormalization",
+    OpKind.NORMALIZATION,
+    min_inputs=5,
+    max_inputs=5,
+    attributes=("epsilon", "momentum"),
+    doc="Inference-mode batch normalization: X, scale, B, mean, var -> Y.",
+)
+_reg(
+    "LayerNormalization",
+    OpKind.NORMALIZATION,
+    min_inputs=2,
+    max_inputs=3,
+    attributes=("axis", "epsilon"),
+    doc="Layer normalization: X, scale[, bias] -> Y.",
+)
+_reg(
+    "InstanceNormalization",
+    OpKind.NORMALIZATION,
+    min_inputs=3,
+    max_inputs=3,
+    attributes=("epsilon",),
+)
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+for _act in ("Relu", "Sigmoid", "Tanh", "Gelu", "Erf", "LeakyRelu", "Elu",
+             "Softplus", "HardSigmoid", "HardSwish", "Mish", "Selu"):
+    _reg(_act, OpKind.ACTIVATION, attributes=("alpha", "gamma"))
+_reg("Clip", OpKind.ACTIVATION, min_inputs=1, max_inputs=3, attributes=("min", "max"))
+_reg("Softmax", OpKind.SOFTMAX, attributes=("axis",))
+_reg("LogSoftmax", OpKind.SOFTMAX, attributes=("axis",))
+_reg("PRelu", OpKind.ACTIVATION, min_inputs=2, max_inputs=2)
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+for _bin in ("Add", "Mul"):
+    _reg(_bin, OpKind.ELEMENTWISE, min_inputs=2, max_inputs=2, commutative=True)
+for _bin in ("Sub", "Div", "Pow", "Mod", "Min", "Max"):
+    _reg(_bin, OpKind.ELEMENTWISE, min_inputs=2, max_inputs=2)
+for _un in ("Sqrt", "Exp", "Log", "Neg", "Abs", "Reciprocal", "Floor", "Ceil",
+            "Round", "Sign", "Cos", "Sin"):
+    _reg(_un, OpKind.ELEMENTWISE)
+for _cmp in ("Equal", "Greater", "Less", "GreaterOrEqual", "LessOrEqual", "And",
+             "Or", "Not", "Xor"):
+    _reg(_cmp, OpKind.ELEMENTWISE, min_inputs=1, max_inputs=2)
+_reg("Where", OpKind.ELEMENTWISE, min_inputs=3, max_inputs=3)
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+for _red in ("ReduceMean", "ReduceSum", "ReduceMax", "ReduceMin", "ReduceProd",
+             "ReduceL2"):
+    _reg(_red, OpKind.REDUCTION, min_inputs=1, max_inputs=2,
+         attributes=("axes", "keepdims"))
+_reg("ArgMax", OpKind.REDUCTION, attributes=("axis", "keepdims"))
+_reg("ArgMin", OpKind.REDUCTION, attributes=("axis", "keepdims"))
+_reg("CumSum", OpKind.REDUCTION, min_inputs=2, max_inputs=2)
+_reg("TopK", OpKind.REDUCTION, min_inputs=2, max_inputs=2, num_outputs=2,
+     attributes=("axis", "largest", "sorted"))
+
+# ---------------------------------------------------------------------------
+# Concatenation / splitting
+# ---------------------------------------------------------------------------
+_reg("Concat", OpKind.CONCAT, min_inputs=1, max_inputs=None, attributes=("axis",))
+_reg("Split", OpKind.CONCAT, min_inputs=1, max_inputs=2, num_outputs=-1,
+     attributes=("axis", "split"))
+
+# ---------------------------------------------------------------------------
+# Data movement / indexing
+# ---------------------------------------------------------------------------
+_reg("Reshape", OpKind.MOVEMENT, min_inputs=1, max_inputs=2, attributes=("shape",))
+_reg("Transpose", OpKind.MOVEMENT, attributes=("perm",))
+_reg("Flatten", OpKind.MOVEMENT, attributes=("axis",))
+_reg("Squeeze", OpKind.MOVEMENT, min_inputs=1, max_inputs=2, attributes=("axes",))
+_reg("Unsqueeze", OpKind.MOVEMENT, min_inputs=1, max_inputs=2, attributes=("axes",))
+_reg("Slice", OpKind.MOVEMENT, min_inputs=1, max_inputs=5,
+     attributes=("starts", "ends", "axes", "steps"))
+_reg("Gather", OpKind.MOVEMENT, min_inputs=2, max_inputs=2, attributes=("axis",))
+_reg("GatherElements", OpKind.MOVEMENT, min_inputs=2, max_inputs=2, attributes=("axis",))
+_reg("ScatterND", OpKind.MOVEMENT, min_inputs=3, max_inputs=3)
+_reg("Expand", OpKind.MOVEMENT, min_inputs=2, max_inputs=2)
+_reg("Tile", OpKind.MOVEMENT, min_inputs=2, max_inputs=2)
+_reg("Pad", OpKind.MOVEMENT, min_inputs=1, max_inputs=3,
+     attributes=("pads", "mode", "value"))
+_reg("DepthToSpace", OpKind.MOVEMENT, attributes=("blocksize", "mode"))
+_reg("SpaceToDepth", OpKind.MOVEMENT, attributes=("blocksize",))
+_reg("Resize", OpKind.RESIZE, min_inputs=1, max_inputs=4,
+     attributes=("mode", "scales", "coordinate_transformation_mode"))
+_reg("Upsample", OpKind.RESIZE, min_inputs=1, max_inputs=2, attributes=("mode", "scales"))
+
+# ---------------------------------------------------------------------------
+# Metadata / constants / casting
+# ---------------------------------------------------------------------------
+_reg("Shape", OpKind.SHAPE, doc="Returns the shape of its input as an int64 tensor.")
+_reg("Size", OpKind.SHAPE)
+_reg("Constant", OpKind.SHAPE, min_inputs=0, max_inputs=0, attributes=("value",))
+_reg("ConstantOfShape", OpKind.SHAPE, min_inputs=1, max_inputs=1, attributes=("value",))
+_reg("Range", OpKind.SHAPE, min_inputs=3, max_inputs=3)
+_reg("Cast", OpKind.SHAPE, attributes=("to",))
+_reg("NonZero", OpKind.SHAPE)
+_reg("OneHot", OpKind.SHAPE, min_inputs=3, max_inputs=3, attributes=("axis",))
+
+# ---------------------------------------------------------------------------
+# Control / no-ops
+# ---------------------------------------------------------------------------
+_reg("Identity", OpKind.CONTROL)
+_reg("Dropout", OpKind.CONTROL, min_inputs=1, max_inputs=3, num_outputs=2,
+     attributes=("ratio",),
+     doc="Inference-mode dropout is a pass-through (mask output unused).")
+
+# ---------------------------------------------------------------------------
+# Embedding-style lookups (BERT)
+# ---------------------------------------------------------------------------
+_reg("EmbeddingLookup", OpKind.EMBEDDING, min_inputs=2, max_inputs=2,
+     doc="Table lookup: weights[indices] (Gather specialization for NLP models).")

@@ -1,0 +1,123 @@
+"""JSON (de)serialization of IR models.
+
+The paper's tool consumes frozen ONNX protobuf files.  In this reproduction
+a model saved with :func:`save_model` plays that role: it is a complete,
+self-contained description of the dataflow graph (nodes, attributes,
+initializers, inputs/outputs) that can be exchanged between the model zoo,
+the Ramiel pipeline and tests without importing any builder code.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.ir.dtypes import dtype_to_numpy, numpy_to_dtype, parse_dtype
+from repro.ir.model import Graph, Model
+from repro.ir.node import OpNode
+from repro.ir.tensor import TensorInfo
+
+
+def _initializer_to_dict(name: str, array: np.ndarray) -> dict:
+    return {
+        "name": name,
+        "dtype": numpy_to_dtype(array.dtype).value,
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def _initializer_from_dict(data: dict) -> np.ndarray:
+    np_dtype = dtype_to_numpy(parse_dtype(data["dtype"]))
+    return np.asarray(data["data"], dtype=np_dtype).reshape(data["shape"])
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Convert a :class:`Graph` to a JSON-compatible dictionary."""
+    return {
+        "name": graph.name,
+        "nodes": [n.to_dict() for n in graph.nodes],
+        "inputs": [i.to_dict() for i in graph.inputs],
+        "outputs": [o.to_dict() for o in graph.outputs],
+        "initializers": [
+            _initializer_to_dict(name, arr) for name, arr in graph.initializers.items()
+        ],
+        "value_info": [info.to_dict() for info in graph.value_info.values()],
+    }
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = Graph(
+        name=data.get("name", "graph"),
+        nodes=[OpNode.from_dict(n) for n in data.get("nodes", [])],
+        inputs=[TensorInfo.from_dict(i) for i in data.get("inputs", [])],
+        outputs=[TensorInfo.from_dict(o) for o in data.get("outputs", [])],
+    )
+    for init in data.get("initializers", []):
+        graph.initializers[init["name"]] = _initializer_from_dict(init)
+    for info in data.get("value_info", []):
+        ti = TensorInfo.from_dict(info)
+        graph.value_info[ti.name] = ti
+    return graph
+
+
+def model_to_dict(model: Model) -> dict:
+    """Convert a :class:`Model` to a JSON-compatible dictionary."""
+    return {
+        "format": "repro-ir",
+        "version": 1,
+        "name": model.name,
+        "producer": model.producer,
+        "opset_version": model.opset_version,
+        "doc": model.doc,
+        "metadata": dict(model.metadata),
+        "graph": graph_to_dict(model.graph),
+    }
+
+
+def model_from_dict(data: dict) -> Model:
+    """Inverse of :func:`model_to_dict`."""
+    if data.get("format") != "repro-ir":
+        raise ValueError("not a repro-ir model dictionary")
+    return Model(
+        graph=graph_from_dict(data["graph"]),
+        name=data.get("name", ""),
+        producer=data.get("producer", "repro"),
+        opset_version=int(data.get("opset_version", 17)),
+        doc=data.get("doc", ""),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_model(model: Model, path: Union[str, Path], compress: bool = True) -> Path:
+    """Serialize a model to disk as (optionally gzipped) JSON.
+
+    Paths ending in ``.gz`` are always gzip-compressed regardless of the
+    ``compress`` flag.
+    """
+    path = Path(path)
+    payload = json.dumps(model_to_dict(model)).encode("utf-8")
+    if compress or path.suffix == ".gz":
+        if path.suffix != ".gz":
+            path = path.with_suffix(path.suffix + ".gz")
+        with gzip.open(path, "wb") as fh:
+            fh.write(payload)
+    else:
+        path.write_bytes(payload)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> Model:
+    """Load a model previously saved with :func:`save_model`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rb") as fh:
+            payload = fh.read()
+    else:
+        payload = path.read_bytes()
+    return model_from_dict(json.loads(payload.decode("utf-8")))

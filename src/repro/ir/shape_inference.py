@@ -1,0 +1,664 @@
+"""Shape and dtype inference over the IR.
+
+:func:`infer_shapes` walks a :class:`~repro.ir.model.Graph` in topological
+order and fills ``graph.value_info`` with a :class:`TensorInfo` for every
+intermediate value it can reason about.  The cost model and the cluster
+schedule simulator use these shapes to weight operators and messages; the
+validator uses them to catch malformed model-zoo graphs early.
+
+Inference is best-effort: an op whose output shape depends on runtime data
+(e.g. ``NonZero``) simply produces an unknown shape rather than failing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.dtypes import DType, promote
+from repro.ir.model import Graph
+from repro.ir.node import OpNode
+from repro.ir.tensor import (
+    Shape,
+    TensorInfo,
+    broadcast_shapes,
+    conv_output_dim,
+    normalize_shape,
+    pool_output_dim,
+)
+
+
+class ShapeInferenceError(RuntimeError):
+    """Raised when shape inference encounters an inconsistent graph."""
+
+
+_InferFn = Callable[["_Context", OpNode], List[TensorInfo]]
+_INFER_FNS: Dict[str, _InferFn] = {}
+
+
+def _infer(op_type: str) -> Callable[[_InferFn], _InferFn]:
+    def wrap(fn: _InferFn) -> _InferFn:
+        _INFER_FNS[op_type] = fn
+        return fn
+
+    return wrap
+
+
+class _Context:
+    """Mutable inference state: known infos and known constant values."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.infos: Dict[str, TensorInfo] = {}
+        self.constants: Dict[str, np.ndarray] = {}
+        for info in graph.inputs:
+            self.infos[info.name] = info
+        for name, array in graph.initializers.items():
+            self.infos[name] = TensorInfo(name, _np_dtype(array), array.shape)
+            self.constants[name] = array
+        for name, info in graph.value_info.items():
+            self.infos.setdefault(name, info)
+
+    def info(self, name: str) -> Optional[TensorInfo]:
+        return self.infos.get(name)
+
+    def shape(self, name: str) -> Shape:
+        info = self.infos.get(name)
+        return None if info is None else info.shape
+
+    def dtype(self, name: str, default: DType = DType.FLOAT32) -> DType:
+        info = self.infos.get(name)
+        return default if info is None else info.dtype
+
+    def constant(self, name: str) -> Optional[np.ndarray]:
+        return self.constants.get(name)
+
+
+def _np_dtype(array: np.ndarray) -> DType:
+    from repro.ir.dtypes import numpy_to_dtype
+
+    return numpy_to_dtype(array.dtype)
+
+
+def infer_shapes(graph: Graph, strict: bool = False) -> Graph:
+    """Annotate ``graph.value_info`` with inferred shapes.
+
+    Parameters
+    ----------
+    graph:
+        The graph to annotate (modified in place and returned).
+    strict:
+        When True, raise :class:`ShapeInferenceError` for any node whose
+        output shape could not be determined; otherwise record an unknown
+        shape and keep going.
+    """
+    from repro.graph.traversal import topological_sort_nodes
+
+    ctx = _Context(graph)
+    for node in topological_sort_nodes(graph):
+        fn = _INFER_FNS.get(node.op_type, _infer_unknown)
+        try:
+            outputs = fn(ctx, node)
+        except ShapeInferenceError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - inference must not crash callers
+            if strict:
+                raise ShapeInferenceError(
+                    f"shape inference failed for node {node.name} ({node.op_type}): {exc}"
+                ) from exc
+            outputs = _unknown_outputs(ctx, node)
+        if strict:
+            for out in outputs:
+                if out.shape is None:
+                    raise ShapeInferenceError(
+                        f"could not infer shape of {out.name} "
+                        f"(node {node.name}, op {node.op_type})"
+                    )
+        for out in outputs:
+            ctx.infos[out.name] = out
+            graph.value_info[out.name] = out
+    return graph
+
+
+def _unknown_outputs(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    dtype = ctx.dtype(node.inputs[0]) if node.present_inputs else DType.FLOAT32
+    return [TensorInfo(out, dtype, None) for out in node.outputs if out]
+
+
+def _infer_unknown(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    return _unknown_outputs(ctx, node)
+
+
+def _same_shape(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    info = ctx.info(node.inputs[0])
+    shape = None if info is None else info.shape
+    dtype = ctx.dtype(node.inputs[0])
+    return [TensorInfo(out, dtype, shape) for out in node.outputs if out]
+
+
+# ---------------------------------------------------------------------------
+# Convolution / pooling
+# ---------------------------------------------------------------------------
+@_infer("Conv")
+def _infer_conv(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    w = ctx.shape(node.inputs[1])
+    if x is None or w is None or len(x) != 4 or len(w) != 4:
+        return _unknown_outputs(ctx, node)
+    n, _, h, wdim = x
+    out_channels = w[0]
+    kernel = node.get_attr("kernel_shape", [w[2], w[3]])
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    dilations = node.get_attr("dilations", [1, 1])
+    oh = conv_output_dim(h, kernel[0], strides[0], pads[0], pads[2], dilations[0])
+    ow = conv_output_dim(wdim, kernel[1], strides[1], pads[1], pads[3], dilations[1])
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), (n, out_channels, oh, ow))]
+
+
+@_infer("ConvTranspose")
+def _infer_conv_transpose(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    w = ctx.shape(node.inputs[1])
+    if x is None or w is None or len(x) != 4 or len(w) != 4:
+        return _unknown_outputs(ctx, node)
+    n, _, h, wdim = x
+    out_channels = w[1]
+    kernel = node.get_attr("kernel_shape", [w[2], w[3]])
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    if h is None or wdim is None:
+        oh = ow = None
+    else:
+        oh = (h - 1) * strides[0] - pads[0] - pads[2] + kernel[0]
+        ow = (wdim - 1) * strides[1] - pads[1] - pads[3] + kernel[1]
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), (n, out_channels, oh, ow))]
+
+
+def _infer_pool(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None or len(x) != 4:
+        return _unknown_outputs(ctx, node)
+    n, c, h, w = x
+    kernel = node.get_attr("kernel_shape", [1, 1])
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    ceil_mode = bool(node.get_attr("ceil_mode", 0))
+    oh = pool_output_dim(h, kernel[0], strides[0], pads[0], pads[2], ceil_mode)
+    ow = pool_output_dim(w, kernel[1], strides[1], pads[1], pads[3], ceil_mode)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), (n, c, oh, ow))]
+
+
+_INFER_FNS["MaxPool"] = _infer_pool
+_INFER_FNS["AveragePool"] = _infer_pool
+
+
+def _infer_global_pool(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None or len(x) != 4:
+        return _unknown_outputs(ctx, node)
+    n, c = x[0], x[1]
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), (n, c, 1, 1))]
+
+
+_INFER_FNS["GlobalAveragePool"] = _infer_global_pool
+_INFER_FNS["GlobalMaxPool"] = _infer_global_pool
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+@_infer("MatMul")
+def _infer_matmul(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    a = ctx.shape(node.inputs[0])
+    b = ctx.shape(node.inputs[1])
+    if a is None or b is None or len(a) < 1 or len(b) < 1:
+        return _unknown_outputs(ctx, node)
+    dtype = promote(ctx.dtype(node.inputs[0]), ctx.dtype(node.inputs[1]))
+    if len(a) == 1 and len(b) == 1:
+        return [TensorInfo(node.primary_output, dtype, ())]
+    a2 = a if len(a) >= 2 else (1,) + tuple(a)
+    b2 = b if len(b) >= 2 else tuple(b) + (1,)
+    batch = broadcast_shapes(a2[:-2] or (1,), b2[:-2] or (1,))
+    m, k1 = a2[-2], a2[-1]
+    k2, n = b2[-2], b2[-1]
+    if k1 is not None and k2 is not None and k1 != k2:
+        raise ShapeInferenceError(
+            f"MatMul inner dimensions disagree: {a} @ {b} in node {node.name}"
+        )
+    batch = tuple(batch) if batch else ()
+    if batch == (1,) and len(a) <= 2 and len(b) <= 2:
+        batch = ()
+    out_shape = batch + (m, n)
+    return [TensorInfo(node.primary_output, dtype, out_shape)]
+
+
+@_infer("Gemm")
+def _infer_gemm(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    a = ctx.shape(node.inputs[0])
+    b = ctx.shape(node.inputs[1])
+    if a is None or b is None or len(a) != 2 or len(b) != 2:
+        return _unknown_outputs(ctx, node)
+    trans_a = bool(node.get_attr("transA", 0))
+    trans_b = bool(node.get_attr("transB", 0))
+    m = a[1] if trans_a else a[0]
+    n = b[0] if trans_b else b[1]
+    dtype = promote(ctx.dtype(node.inputs[0]), ctx.dtype(node.inputs[1]))
+    return [TensorInfo(node.primary_output, dtype, (m, n))]
+
+
+# ---------------------------------------------------------------------------
+# Normalization / activations / elementwise
+# ---------------------------------------------------------------------------
+for _op in ("BatchNormalization", "LayerNormalization", "InstanceNormalization",
+            "Relu", "Sigmoid", "Tanh", "Gelu", "Erf", "LeakyRelu", "Elu", "Selu",
+            "Softplus", "HardSigmoid", "HardSwish", "Mish", "Clip", "PRelu",
+            "Softmax", "LogSoftmax", "Sqrt", "Exp", "Log", "Neg", "Abs",
+            "Reciprocal", "Floor", "Ceil", "Round", "Sign", "Cos", "Sin",
+            "Identity", "Cast", "Dropout", "Pad", "Not"):
+    _INFER_FNS[_op] = _same_shape
+
+
+def _infer_binary(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    a = ctx.shape(node.inputs[0])
+    b = ctx.shape(node.inputs[1]) if len(node.present_inputs) > 1 else a
+    dtype = promote(ctx.dtype(node.inputs[0]), ctx.dtype(node.inputs[-1]))
+    try:
+        shape = broadcast_shapes(a, b)
+    except ValueError as exc:
+        raise ShapeInferenceError(f"node {node.name}: {exc}") from exc
+    return [TensorInfo(node.primary_output, dtype, shape)]
+
+
+for _op in ("Add", "Sub", "Mul", "Div", "Pow", "Mod", "Min", "Max",
+            "Equal", "Greater", "Less", "GreaterOrEqual", "LessOrEqual",
+            "And", "Or", "Xor"):
+    _INFER_FNS[_op] = _infer_binary
+
+
+@_infer("Where")
+def _infer_where(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    cond = ctx.shape(node.inputs[0])
+    a = ctx.shape(node.inputs[1])
+    b = ctx.shape(node.inputs[2])
+    shape = broadcast_shapes(broadcast_shapes(cond, a), b)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[1]), shape)]
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+def _infer_reduce(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    axes = node.get_attr("axes")
+    if axes is None and len(node.present_inputs) > 1:
+        const = ctx.constant(node.inputs[1])
+        axes = None if const is None else [int(v) for v in np.atleast_1d(const)]
+    keepdims = bool(node.get_attr("keepdims", 1))
+    if axes is None:
+        shape: Shape = tuple(1 for _ in x) if keepdims else ()
+    else:
+        axes = [a % len(x) for a in axes]
+        dims = []
+        for i, d in enumerate(x):
+            if i in axes:
+                if keepdims:
+                    dims.append(1)
+            else:
+                dims.append(d)
+        shape = tuple(dims)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), shape)]
+
+
+for _op in ("ReduceMean", "ReduceSum", "ReduceMax", "ReduceMin", "ReduceProd", "ReduceL2"):
+    _INFER_FNS[_op] = _infer_reduce
+
+
+def _infer_arg_reduce(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return [TensorInfo(node.primary_output, DType.INT64, None)]
+    axis = int(node.get_attr("axis", 0)) % len(x)
+    keepdims = bool(node.get_attr("keepdims", 1))
+    dims = [d for i, d in enumerate(x) if i != axis or keepdims]
+    if keepdims:
+        dims = [1 if i == axis else d for i, d in enumerate(x)]
+    return [TensorInfo(node.primary_output, DType.INT64, tuple(dims))]
+
+
+_INFER_FNS["ArgMax"] = _infer_arg_reduce
+_INFER_FNS["ArgMin"] = _infer_arg_reduce
+
+
+# ---------------------------------------------------------------------------
+# Concat / split / movement
+# ---------------------------------------------------------------------------
+@_infer("Concat")
+def _infer_concat(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    shapes = [ctx.shape(i) for i in node.present_inputs]
+    dtype = ctx.dtype(node.inputs[0])
+    if any(s is None for s in shapes):
+        return _unknown_outputs(ctx, node)
+    axis = int(node.get_attr("axis", 0)) % len(shapes[0])
+    total: Optional[int] = 0
+    for s in shapes:
+        if s[axis] is None:
+            total = None
+            break
+        total += s[axis]
+    dims = list(shapes[0])
+    dims[axis] = total
+    return [TensorInfo(node.primary_output, dtype, tuple(dims))]
+
+
+@_infer("Split")
+def _infer_split(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    dtype = ctx.dtype(node.inputs[0])
+    outs = [o for o in node.outputs if o]
+    if x is None:
+        return [TensorInfo(o, dtype, None) for o in outs]
+    axis = int(node.get_attr("axis", 0)) % len(x)
+    split = node.get_attr("split")
+    if split is None and len(node.present_inputs) > 1:
+        const = ctx.constant(node.inputs[1])
+        split = None if const is None else [int(v) for v in np.atleast_1d(const)]
+    if split is None:
+        if x[axis] is None:
+            sizes = [None] * len(outs)
+        else:
+            each = x[axis] // len(outs)
+            sizes = [each] * len(outs)
+    else:
+        sizes = list(split)
+    infos = []
+    for out, size in zip(outs, sizes):
+        dims = list(x)
+        dims[axis] = size
+        infos.append(TensorInfo(out, dtype, tuple(dims)))
+    return infos
+
+
+@_infer("Reshape")
+def _infer_reshape(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    dtype = ctx.dtype(node.inputs[0])
+    target = node.get_attr("shape")
+    if target is None and len(node.present_inputs) > 1:
+        const = ctx.constant(node.inputs[1])
+        target = None if const is None else [int(v) for v in np.atleast_1d(const)]
+    if target is None:
+        return _unknown_outputs(ctx, node)
+    target = list(target)
+    known_elems = None
+    if x is not None and all(d is not None for d in x):
+        known_elems = int(np.prod(x)) if x else 1
+    dims: List[Optional[int]] = []
+    neg_index = None
+    accounted = 1
+    for i, d in enumerate(target):
+        if d == -1:
+            neg_index = i
+            dims.append(None)
+        elif d == 0:
+            val = x[i] if x is not None and i < len(x) else None
+            dims.append(val)
+            if val is not None:
+                accounted *= val
+        else:
+            dims.append(int(d))
+            accounted *= int(d)
+    if neg_index is not None and known_elems is not None and accounted > 0:
+        dims[neg_index] = known_elems // accounted
+    return [TensorInfo(node.primary_output, dtype, tuple(dims))]
+
+
+@_infer("Transpose")
+def _infer_transpose(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    perm = node.get_attr("perm", list(reversed(range(len(x)))))
+    dims = tuple(x[p] for p in perm)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), dims)]
+
+
+@_infer("Flatten")
+def _infer_flatten(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    axis = int(node.get_attr("axis", 1)) % (len(x) + 1)
+    head = x[:axis]
+    tail = x[axis:]
+    d0 = None if any(d is None for d in head) else int(np.prod(head)) if head else 1
+    d1 = None if any(d is None for d in tail) else int(np.prod(tail)) if tail else 1
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), (d0, d1))]
+
+
+def _axes_from(ctx: _Context, node: OpNode) -> Optional[List[int]]:
+    axes = node.get_attr("axes")
+    if axes is None and len(node.present_inputs) > 1:
+        const = ctx.constant(node.inputs[1])
+        axes = None if const is None else [int(v) for v in np.atleast_1d(const)]
+    return None if axes is None else list(axes)
+
+
+@_infer("Squeeze")
+def _infer_squeeze(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    axes = _axes_from(ctx, node)
+    if axes is None:
+        dims = tuple(d for d in x if d != 1)
+    else:
+        axes = [a % len(x) for a in axes]
+        dims = tuple(d for i, d in enumerate(x) if i not in axes)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), dims)]
+
+
+@_infer("Unsqueeze")
+def _infer_unsqueeze(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    axes = _axes_from(ctx, node)
+    if axes is None:
+        return _unknown_outputs(ctx, node)
+    out_rank = len(x) + len(axes)
+    axes = sorted(a % out_rank for a in axes)
+    dims: List[Optional[int]] = list(x)
+    for a in axes:
+        dims.insert(a, 1)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), tuple(dims))]
+
+
+@_infer("Slice")
+def _infer_slice(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    starts = node.get_attr("starts")
+    ends = node.get_attr("ends")
+    axes = node.get_attr("axes")
+    steps = node.get_attr("steps")
+    inputs = node.present_inputs
+    if starts is None and len(inputs) > 1:
+        starts = _const_ints(ctx, inputs[1])
+    if ends is None and len(inputs) > 2:
+        ends = _const_ints(ctx, inputs[2])
+    if axes is None and len(inputs) > 3:
+        axes = _const_ints(ctx, inputs[3])
+    if steps is None and len(inputs) > 4:
+        steps = _const_ints(ctx, inputs[4])
+    if starts is None or ends is None:
+        return _unknown_outputs(ctx, node)
+    axes = list(range(len(starts))) if axes is None else list(axes)
+    steps = [1] * len(starts) if steps is None else list(steps)
+    dims = list(x)
+    for start, end, axis, step in zip(starts, ends, axes, steps):
+        axis = axis % len(x)
+        if dims[axis] is None:
+            continue
+        size = dims[axis]
+        start_c = min(max(start + size if start < 0 else start, 0), size)
+        end_c = min(max(end + size if end < 0 else end, 0), size) if end < 10**8 else size
+        extent = max(end_c - start_c, 0)
+        dims[axis] = max((extent + abs(step) - 1) // abs(step), 0)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), tuple(dims))]
+
+
+def _const_ints(ctx: _Context, name: str) -> Optional[List[int]]:
+    const = ctx.constant(name)
+    return None if const is None else [int(v) for v in np.atleast_1d(const)]
+
+
+@_infer("Gather")
+def _infer_gather(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    data = ctx.shape(node.inputs[0])
+    indices = ctx.shape(node.inputs[1])
+    if data is None or indices is None:
+        return _unknown_outputs(ctx, node)
+    axis = int(node.get_attr("axis", 0)) % len(data)
+    dims = tuple(data[:axis]) + tuple(indices) + tuple(data[axis + 1:])
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), dims)]
+
+
+_INFER_FNS["EmbeddingLookup"] = lambda ctx, node: [
+    TensorInfo(
+        node.primary_output,
+        ctx.dtype(node.inputs[0]),
+        (tuple(ctx.shape(node.inputs[1]) or ()) + tuple((ctx.shape(node.inputs[0]) or (None, None))[1:]))
+        if ctx.shape(node.inputs[1]) is not None and ctx.shape(node.inputs[0]) is not None
+        else None,
+    )
+]
+
+
+@_infer("Expand")
+def _infer_expand(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    target = _const_ints(ctx, node.inputs[1]) if len(node.present_inputs) > 1 else None
+    if target is None:
+        return _unknown_outputs(ctx, node)
+    shape = broadcast_shapes(x, tuple(target)) if x is not None else tuple(target)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), shape)]
+
+
+@_infer("Tile")
+def _infer_tile(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    reps = _const_ints(ctx, node.inputs[1]) if len(node.present_inputs) > 1 else None
+    if x is None or reps is None:
+        return _unknown_outputs(ctx, node)
+    dims = tuple(None if d is None else d * r for d, r in zip(x, reps))
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), dims)]
+
+
+def _infer_resize(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    scales = node.get_attr("scales")
+    if x is None or scales is None or len(x) != len(scales):
+        return _unknown_outputs(ctx, node)
+    dims = tuple(None if d is None else int(d * s) for d, s in zip(x, scales))
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]), dims)]
+
+
+_INFER_FNS["Resize"] = _infer_resize
+_INFER_FNS["Upsample"] = _infer_resize
+
+
+@_infer("DepthToSpace")
+def _infer_depth_to_space(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None or len(x) != 4:
+        return _unknown_outputs(ctx, node)
+    n, c, h, w = x
+    b = int(node.get_attr("blocksize", 2))
+    c_out = None if c is None else c // (b * b)
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]),
+                       (n, c_out, None if h is None else h * b, None if w is None else w * b))]
+
+
+@_infer("SpaceToDepth")
+def _infer_space_to_depth(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    if x is None or len(x) != 4:
+        return _unknown_outputs(ctx, node)
+    n, c, h, w = x
+    b = int(node.get_attr("blocksize", 2))
+    return [TensorInfo(node.primary_output, ctx.dtype(node.inputs[0]),
+                       (n, None if c is None else c * b * b,
+                        None if h is None else h // b, None if w is None else w // b))]
+
+
+# ---------------------------------------------------------------------------
+# Metadata ops
+# ---------------------------------------------------------------------------
+@_infer("Shape")
+def _infer_shape_op(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    rank = None if x is None else len(x)
+    return [TensorInfo(node.primary_output, DType.INT64, (rank,) if rank is not None else None)]
+
+
+@_infer("Size")
+def _infer_size(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    return [TensorInfo(node.primary_output, DType.INT64, ())]
+
+
+@_infer("Constant")
+def _infer_constant(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    value = node.get_attr("value")
+    if value is None:
+        return [TensorInfo(node.primary_output, DType.FLOAT32, None)]
+    arr = np.asarray(value)
+    ctx.constants[node.primary_output] = arr
+    return [TensorInfo(node.primary_output, _np_dtype(arr), arr.shape)]
+
+
+@_infer("ConstantOfShape")
+def _infer_constant_of_shape(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    shape = _const_ints(ctx, node.inputs[0]) if node.present_inputs else None
+    value = node.get_attr("value", 0.0)
+    dtype = _np_dtype(np.asarray(value)) if value is not None else DType.FLOAT32
+    return [TensorInfo(node.primary_output, dtype, tuple(shape) if shape is not None else None)]
+
+
+@_infer("Range")
+def _infer_range(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    start = ctx.constant(node.inputs[0])
+    limit = ctx.constant(node.inputs[1])
+    delta = ctx.constant(node.inputs[2])
+    if start is None or limit is None or delta is None:
+        return [TensorInfo(node.primary_output, DType.INT64, None)]
+    count = int(max(np.ceil((float(limit) - float(start)) / float(delta)), 0))
+    return [TensorInfo(node.primary_output, DType.INT64, (count,))]
+
+
+@_infer("NonZero")
+def _infer_nonzero(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    rank = None if x is None else len(x)
+    return [TensorInfo(node.primary_output, DType.INT64,
+                       (rank, None) if rank is not None else None)]
+
+
+@_infer("TopK")
+def _infer_topk(ctx: _Context, node: OpNode) -> List[TensorInfo]:
+    x = ctx.shape(node.inputs[0])
+    k = _const_ints(ctx, node.inputs[1]) if len(node.present_inputs) > 1 else None
+    if x is None:
+        return _unknown_outputs(ctx, node)
+    axis = int(node.get_attr("axis", -1)) % len(x)
+    dims = list(x)
+    dims[axis] = k[0] if k else None
+    outs = [o for o in node.outputs if o]
+    infos = [TensorInfo(outs[0], ctx.dtype(node.inputs[0]), tuple(dims))]
+    if len(outs) > 1:
+        infos.append(TensorInfo(outs[1], DType.INT64, tuple(dims)))
+    return infos

@@ -1,0 +1,48 @@
+"""Model zoo: programmatic builders for the paper's eight benchmark graphs.
+
+The paper extracts its models as ONNX files from the PyTorch 2.0 repository,
+HuggingFace and the ONNX model zoo.  Those pretrained artifacts are not
+available offline, so each module here *reconstructs the dataflow-graph
+topology* of the corresponding architecture: the fork/join structure, the
+operator mix, and an approximate node count matching Table I.  Weights are
+random (seeded) — the clustering, pruning and code-generation algorithms
+never look at weight values, only at graph structure and static costs.
+
+Use :func:`build_model` / :func:`repro.models.zoo.list_models` to obtain
+models by name, including the reduced-size variants used by the tests.
+"""
+
+from repro.models.zoo import (
+    MODEL_REGISTRY,
+    PAPER_TABLE1,
+    ModelSpec,
+    build_model,
+    build_all_models,
+    list_models,
+    paper_reference,
+)
+from repro.models.squeezenet import build_squeezenet
+from repro.models.googlenet import build_googlenet
+from repro.models.inception import build_inception_v3, build_inception_v4
+from repro.models.yolo import build_yolo_v5
+from repro.models.bert import build_bert
+from repro.models.retinanet import build_retinanet
+from repro.models.nasnet import build_nasnet
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "PAPER_TABLE1",
+    "ModelSpec",
+    "build_model",
+    "build_all_models",
+    "list_models",
+    "paper_reference",
+    "build_squeezenet",
+    "build_googlenet",
+    "build_inception_v3",
+    "build_inception_v4",
+    "build_yolo_v5",
+    "build_bert",
+    "build_retinanet",
+    "build_nasnet",
+]

@@ -1,0 +1,86 @@
+"""GoogLeNet (Inception V1) dataflow graph.
+
+Each inception module has four parallel branches (1x1, 1x1->3x3, 1x1->5x5,
+pool->1x1) whose outputs are concatenated — a classic fork/join structure
+with fan-out 4.  Table I lists 153 nodes and a potential parallelism of
+1.4x, which Table IV translates into a 1.2x measured speedup.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.model import Model
+
+
+def _inception_module(
+    b: GraphBuilder,
+    x: str,
+    ch1x1: int,
+    ch3x3_reduce: int,
+    ch3x3: int,
+    ch5x5_reduce: int,
+    ch5x5: int,
+    pool_proj: int,
+) -> str:
+    """One GoogLeNet inception module (4 parallel branches + concat)."""
+    branch1 = b.conv_relu(x, ch1x1, kernel=1, name=b.fresh("incep_b1"))
+
+    branch2 = b.conv_relu(x, ch3x3_reduce, kernel=1, name=b.fresh("incep_b2_reduce"))
+    branch2 = b.conv_relu(branch2, ch3x3, kernel=3, pads=1, name=b.fresh("incep_b2"))
+
+    branch3 = b.conv_relu(x, ch5x5_reduce, kernel=1, name=b.fresh("incep_b3_reduce"))
+    branch3 = b.conv_relu(branch3, ch5x5, kernel=5, pads=2, name=b.fresh("incep_b3"))
+
+    branch4 = b.maxpool(x, kernel=3, strides=1, pads=1, name=b.fresh("incep_b4_pool"))
+    branch4 = b.conv_relu(branch4, pool_proj, kernel=1, name=b.fresh("incep_b4"))
+
+    return b.concat([branch1, branch2, branch3, branch4], axis=1)
+
+
+def build_googlenet(
+    image_size: int = 64,
+    batch_size: int = 1,
+    num_classes: int = 100,
+    channel_scale: float = 1.0,
+    seed: int = 1,
+) -> Model:
+    """Build the GoogLeNet dataflow graph (nine inception modules)."""
+    def ch(c: int) -> int:
+        return max(int(round(c * channel_scale)), 4)
+
+    b = GraphBuilder("googlenet", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    # Stem
+    y = b.conv_relu(x, ch(64), kernel=7, strides=2, pads=3, name="stem_conv1")
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+    y = b.conv_relu(y, ch(64), kernel=1, name="stem_conv2_reduce")
+    y = b.conv_relu(y, ch(192), kernel=3, pads=1, name="stem_conv2")
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Inception 3a, 3b
+    y = _inception_module(b, y, ch(64), ch(96), ch(128), ch(16), ch(32), ch(32))
+    y = _inception_module(b, y, ch(128), ch(128), ch(192), ch(32), ch(96), ch(64))
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Inception 4a-4e
+    y = _inception_module(b, y, ch(192), ch(96), ch(208), ch(16), ch(48), ch(64))
+    y = _inception_module(b, y, ch(160), ch(112), ch(224), ch(24), ch(64), ch(64))
+    y = _inception_module(b, y, ch(128), ch(128), ch(256), ch(24), ch(64), ch(64))
+    y = _inception_module(b, y, ch(112), ch(144), ch(288), ch(32), ch(64), ch(64))
+    y = _inception_module(b, y, ch(256), ch(160), ch(320), ch(32), ch(128), ch(128))
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Inception 5a, 5b
+    y = _inception_module(b, y, ch(256), ch(160), ch(320), ch(32), ch(128), ch(128))
+    y = _inception_module(b, y, ch(384), ch(192), ch(384), ch(48), ch(128), ch(128))
+
+    # Classifier
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.dropout(y, ratio=0.4)
+    y = b.gemm(y, num_classes)
+    y = b.softmax(y, axis=-1)
+
+    b.output(y)
+    return b.build()

@@ -1,0 +1,230 @@
+"""Inception V3 and V4 dataflow graphs.
+
+The paper's Fig. 2 highlights that several parallel Inception branches
+(e.g. the pooling + 1x1 projection branch) have very low computational
+intensity, motivating the task-cloning and hyperclustering optimizations.
+Table I lists 238 nodes (V3) / 339 nodes (V4) with potential parallelism
+1.37x / 1.32x.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.model import Model
+
+
+# ---------------------------------------------------------------------------
+# Inception V3 blocks
+# ---------------------------------------------------------------------------
+def _inception_a(b: GraphBuilder, x: str, pool_features: int, ch: int = 64) -> str:
+    """InceptionA: 1x1 / 5x5 / double-3x3 / pool branches."""
+    branch1 = b.conv_relu(x, ch, kernel=1)
+
+    branch5 = b.conv_relu(x, max(ch - 16, 4), kernel=1)
+    branch5 = b.conv_relu(branch5, ch, kernel=5, pads=2)
+
+    branch3 = b.conv_relu(x, ch, kernel=1)
+    branch3 = b.conv_relu(branch3, ch + 32, kernel=3, pads=1)
+    branch3 = b.conv_relu(branch3, ch + 32, kernel=3, pads=1)
+
+    pool = b.avgpool(x, kernel=3, strides=1, pads=1)
+    pool = b.conv_relu(pool, pool_features, kernel=1)
+
+    return b.concat([branch1, branch5, branch3, pool], axis=1)
+
+
+def _reduction_a(b: GraphBuilder, x: str, ch: int = 64) -> str:
+    """Grid-size reduction block between the A and B stages."""
+    branch3 = b.conv_relu(x, ch * 6, kernel=3, strides=2)
+
+    branch3dbl = b.conv_relu(x, ch, kernel=1)
+    branch3dbl = b.conv_relu(branch3dbl, ch + 32, kernel=3, pads=1)
+    branch3dbl = b.conv_relu(branch3dbl, ch + 32, kernel=3, strides=2)
+
+    pool = b.maxpool(x, kernel=3, strides=2)
+    return b.concat([branch3, branch3dbl, pool], axis=1)
+
+
+def _inception_b(b: GraphBuilder, x: str, ch7: int, out_ch: int = 192) -> str:
+    """InceptionB/C-style block with factorized 7x7 convolutions."""
+    branch1 = b.conv_relu(x, out_ch, kernel=1)
+
+    branch7 = b.conv_relu(x, ch7, kernel=1)
+    branch7 = b.conv_relu(branch7, ch7, kernel=(1, 7), pads=(0, 3))
+    branch7 = b.conv_relu(branch7, out_ch, kernel=(7, 1), pads=(3, 0))
+
+    branch7dbl = b.conv_relu(x, ch7, kernel=1)
+    branch7dbl = b.conv_relu(branch7dbl, ch7, kernel=(7, 1), pads=(3, 0))
+    branch7dbl = b.conv_relu(branch7dbl, ch7, kernel=(1, 7), pads=(0, 3))
+    branch7dbl = b.conv_relu(branch7dbl, ch7, kernel=(7, 1), pads=(3, 0))
+    branch7dbl = b.conv_relu(branch7dbl, out_ch, kernel=(1, 7), pads=(0, 3))
+
+    pool = b.avgpool(x, kernel=3, strides=1, pads=1)
+    pool = b.conv_relu(pool, out_ch, kernel=1)
+
+    return b.concat([branch1, branch7, branch7dbl, pool], axis=1)
+
+
+def _reduction_b(b: GraphBuilder, x: str, ch: int = 192) -> str:
+    """Grid-size reduction block between the B and C stages."""
+    branch3 = b.conv_relu(x, ch, kernel=1)
+    branch3 = b.conv_relu(branch3, ch + 128, kernel=3, strides=2)
+
+    branch7 = b.conv_relu(x, ch, kernel=1)
+    branch7 = b.conv_relu(branch7, ch, kernel=(1, 7), pads=(0, 3))
+    branch7 = b.conv_relu(branch7, ch, kernel=(7, 1), pads=(3, 0))
+    branch7 = b.conv_relu(branch7, ch, kernel=3, strides=2)
+
+    pool = b.maxpool(x, kernel=3, strides=2)
+    return b.concat([branch3, branch7, pool], axis=1)
+
+
+def _inception_e(b: GraphBuilder, x: str, ch: int = 320) -> str:
+    """InceptionE: branches that themselves fork into 1x3/3x1 pairs."""
+    branch1 = b.conv_relu(x, ch, kernel=1)
+
+    branch3 = b.conv_relu(x, ch + 64, kernel=1)
+    branch3a = b.conv_relu(branch3, ch + 64, kernel=(1, 3), pads=(0, 1))
+    branch3b = b.conv_relu(branch3, ch + 64, kernel=(3, 1), pads=(1, 0))
+    branch3 = b.concat([branch3a, branch3b], axis=1)
+
+    branch3dbl = b.conv_relu(x, ch + 128, kernel=1)
+    branch3dbl = b.conv_relu(branch3dbl, ch + 64, kernel=3, pads=1)
+    branch3dbl_a = b.conv_relu(branch3dbl, ch + 64, kernel=(1, 3), pads=(0, 1))
+    branch3dbl_b = b.conv_relu(branch3dbl, ch + 64, kernel=(3, 1), pads=(1, 0))
+    branch3dbl = b.concat([branch3dbl_a, branch3dbl_b], axis=1)
+
+    pool = b.avgpool(x, kernel=3, strides=1, pads=1)
+    pool = b.conv_relu(pool, max(ch - 128, max(ch // 2, 4)), kernel=1)
+
+    return b.concat([branch1, branch3, branch3dbl, pool], axis=1)
+
+
+def build_inception_v3(
+    image_size: int = 96,
+    batch_size: int = 1,
+    num_classes: int = 100,
+    channel_scale: float = 0.5,
+    seed: int = 2,
+) -> Model:
+    """Build the Inception V3 dataflow graph (stem + A/B/E stages)."""
+    scale = channel_scale
+
+    def ch(c: int) -> int:
+        return max(int(round(c * scale)), 4)
+
+    b = GraphBuilder("inception_v3", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    # Stem
+    y = b.conv_relu(x, ch(32), kernel=3, strides=2, name="stem_conv1")
+    y = b.conv_relu(y, ch(32), kernel=3, name="stem_conv2")
+    y = b.conv_relu(y, ch(64), kernel=3, pads=1, name="stem_conv3")
+    y = b.maxpool(y, kernel=3, strides=2)
+    y = b.conv_relu(y, ch(80), kernel=1, name="stem_conv4")
+    y = b.conv_relu(y, ch(192), kernel=3, name="stem_conv5")
+    y = b.maxpool(y, kernel=3, strides=2)
+
+    # 3 x InceptionA
+    y = _inception_a(b, y, pool_features=ch(32), ch=ch(64))
+    y = _inception_a(b, y, pool_features=ch(64), ch=ch(64))
+    y = _inception_a(b, y, pool_features=ch(64), ch=ch(64))
+
+    # Reduction A
+    y = _reduction_a(b, y, ch=ch(64))
+
+    # 4 x InceptionB/C (factorized 7x7)
+    y = _inception_b(b, y, ch7=ch(128), out_ch=ch(192))
+    y = _inception_b(b, y, ch7=ch(160), out_ch=ch(192))
+    y = _inception_b(b, y, ch7=ch(160), out_ch=ch(192))
+    y = _inception_b(b, y, ch7=ch(192), out_ch=ch(192))
+
+    # Reduction B
+    y = _reduction_b(b, y, ch=ch(192))
+
+    # 2 x InceptionE
+    y = _inception_e(b, y, ch=ch(320))
+    y = _inception_e(b, y, ch=ch(320))
+
+    # Classifier
+    y = b.global_avgpool(y)
+    y = b.dropout(y, ratio=0.5)
+    y = b.flatten(y)
+    y = b.gemm(y, num_classes)
+    y = b.softmax(y, axis=-1)
+
+    b.output(y)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Inception V4
+# ---------------------------------------------------------------------------
+def _v4_stem(b: GraphBuilder, x: str, ch) -> str:
+    """Inception V4 stem with its two internal fork/join branchings."""
+    y = b.conv_relu(x, ch(32), kernel=3, strides=2, name="stem_conv1")
+    y = b.conv_relu(y, ch(32), kernel=3, name="stem_conv2")
+    y = b.conv_relu(y, ch(64), kernel=3, pads=1, name="stem_conv3")
+
+    pool_a = b.maxpool(y, kernel=3, strides=2)
+    conv_a = b.conv_relu(y, ch(96), kernel=3, strides=2)
+    y = b.concat([pool_a, conv_a], axis=1)
+
+    left = b.conv_relu(y, ch(64), kernel=1)
+    left = b.conv_relu(left, ch(96), kernel=3)
+    right = b.conv_relu(y, ch(64), kernel=1)
+    right = b.conv_relu(right, ch(64), kernel=(1, 7), pads=(0, 3))
+    right = b.conv_relu(right, ch(64), kernel=(7, 1), pads=(3, 0))
+    right = b.conv_relu(right, ch(96), kernel=3)
+    y = b.concat([left, right], axis=1)
+
+    conv_b = b.conv_relu(y, ch(192), kernel=3, strides=2)
+    pool_b = b.maxpool(y, kernel=3, strides=2)
+    return b.concat([conv_b, pool_b], axis=1)
+
+
+def build_inception_v4(
+    image_size: int = 96,
+    batch_size: int = 1,
+    num_classes: int = 100,
+    channel_scale: float = 0.5,
+    seed: int = 3,
+) -> Model:
+    """Build the Inception V4 dataflow graph (larger stem, 4xA / 7xB / 3xE)."""
+    scale = channel_scale
+
+    def ch(c: int) -> int:
+        return max(int(round(c * scale)), 4)
+
+    b = GraphBuilder("inception_v4", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    y = _v4_stem(b, x, ch)
+
+    # 4 x InceptionA
+    for _ in range(4):
+        y = _inception_a(b, y, pool_features=ch(96), ch=ch(64))
+
+    # Reduction A
+    y = _reduction_a(b, y, ch=ch(96))
+
+    # 7 x InceptionB
+    for _ in range(7):
+        y = _inception_b(b, y, ch7=ch(192), out_ch=ch(224))
+
+    # Reduction B
+    y = _reduction_b(b, y, ch=ch(192))
+
+    # 3 x InceptionE (called InceptionC in the V4 paper)
+    for _ in range(3):
+        y = _inception_e(b, y, ch=ch(256))
+
+    # Classifier
+    y = b.global_avgpool(y)
+    y = b.dropout(y, ratio=0.2)
+    y = b.flatten(y)
+    y = b.gemm(y, num_classes)
+    y = b.softmax(y, axis=-1)
+
+    b.output(y)
+    return b.build()

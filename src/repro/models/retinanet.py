@@ -1,0 +1,125 @@
+"""RetinaNet dataflow graph.
+
+RetinaNet couples a ResNet-50-style backbone with a Feature Pyramid
+Network and two dense prediction heads (classification and box regression)
+applied to five pyramid levels.  The per-level heads are mutually
+independent subgraphs — natural task-parallel material.  Table I lists 450
+nodes and a potential parallelism of 1.2x; Table IV reports a measured
+speedup of 1.3x, the one model that beats its static estimate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.model import Model
+
+
+def _conv_bn_relu(b: GraphBuilder, x: str, out_ch: int, kernel: int = 3,
+                  strides: int = 1, pads: int = 1) -> str:
+    """Conv + BatchNorm + ReLU block (the ResNet idiom)."""
+    y = b.conv(x, out_ch, kernel=kernel, strides=strides, pads=pads, bias=False)
+    y = b.batchnorm(y)
+    return b.relu(y)
+
+
+def _bottleneck(b: GraphBuilder, x: str, mid_ch: int, out_ch: int,
+                strides: int = 1, project: bool = False) -> str:
+    """ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand, residual add."""
+    y = _conv_bn_relu(b, x, mid_ch, kernel=1, pads=0)
+    y = _conv_bn_relu(b, y, mid_ch, kernel=3, strides=strides, pads=1)
+    y = b.conv(y, out_ch, kernel=1, pads=0, bias=False)
+    y = b.batchnorm(y)
+    if project or strides != 1:
+        shortcut = b.conv(x, out_ch, kernel=1, strides=strides, pads=0, bias=False)
+        shortcut = b.batchnorm(shortcut)
+    else:
+        shortcut = x
+    y = b.add(y, shortcut)
+    return b.relu(y)
+
+
+def _resnet_stage(b: GraphBuilder, x: str, mid_ch: int, out_ch: int, blocks: int,
+                  strides: int) -> str:
+    y = _bottleneck(b, x, mid_ch, out_ch, strides=strides, project=True)
+    for _ in range(blocks - 1):
+        y = _bottleneck(b, y, mid_ch, out_ch)
+    return y
+
+
+def _fpn(b: GraphBuilder, c3: str, c4: str, c5: str, fpn_ch: int) -> List[str]:
+    """Feature pyramid: lateral 1x1s, top-down adds, 3x3 smoothing, P6/P7."""
+    lat5 = b.conv(c5, fpn_ch, kernel=1, pads=0, name="fpn_lateral5")
+    lat4 = b.conv(c4, fpn_ch, kernel=1, pads=0, name="fpn_lateral4")
+    lat3 = b.conv(c3, fpn_ch, kernel=1, pads=0, name="fpn_lateral3")
+
+    p5 = b.conv(lat5, fpn_ch, kernel=3, pads=1, name="fpn_out5")
+    up5 = b.resize(lat5, scale=2.0, name="fpn_up5")
+    merged4 = b.add(lat4, up5, name="fpn_merge4")
+    p4 = b.conv(merged4, fpn_ch, kernel=3, pads=1, name="fpn_out4")
+    up4 = b.resize(merged4, scale=2.0, name="fpn_up4")
+    merged3 = b.add(lat3, up4, name="fpn_merge3")
+    p3 = b.conv(merged3, fpn_ch, kernel=3, pads=1, name="fpn_out3")
+
+    p6 = b.conv(c5, fpn_ch, kernel=3, strides=2, pads=1, name="fpn_p6")
+    p7_in = b.relu(p6, name="fpn_p7_relu")
+    p7 = b.conv(p7_in, fpn_ch, kernel=3, strides=2, pads=1, name="fpn_p7")
+    return [p3, p4, p5, p6, p7]
+
+
+def _head(b: GraphBuilder, feat: str, fpn_ch: int, out_ch: int, depth: int,
+          tag: str) -> str:
+    """Dense prediction head: ``depth`` conv+relu layers then a prediction conv."""
+    y = feat
+    for i in range(depth):
+        y = b.conv_relu(y, fpn_ch, kernel=3, pads=1, name=f"{tag}_conv{i}")
+    pred = b.conv(y, out_ch, kernel=3, pads=1, name=f"{tag}_pred")
+    flat = b.flatten(pred, axis=1, name=f"{tag}_flatten")
+    return flat
+
+
+def build_retinanet(
+    image_size: int = 64,
+    batch_size: int = 1,
+    num_classes: int = 20,
+    num_anchors: int = 9,
+    channel_scale: float = 0.25,
+    head_depth: int = 4,
+    seed: int = 6,
+) -> Model:
+    """Build the RetinaNet dataflow graph (ResNet-50 backbone + FPN + heads)."""
+    def ch(c: int) -> int:
+        return max(int(round(c * channel_scale)), 4)
+
+    b = GraphBuilder("retinanet", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    # ResNet-50 backbone -------------------------------------------------------
+    y = _conv_bn_relu(b, x, ch(64), kernel=7, strides=2, pads=3)
+    y = b.maxpool(y, kernel=3, strides=2, pads=1)
+    c2 = _resnet_stage(b, y, ch(64), ch(256), blocks=3, strides=1)
+    c3 = _resnet_stage(b, c2, ch(128), ch(512), blocks=4, strides=2)
+    c4 = _resnet_stage(b, c3, ch(256), ch(1024), blocks=6, strides=2)
+    c5 = _resnet_stage(b, c4, ch(512), ch(2048), blocks=3, strides=2)
+
+    # FPN ----------------------------------------------------------------------
+    fpn_ch = ch(256)
+    pyramid = _fpn(b, c3, c4, c5, fpn_ch)
+
+    # Heads on every pyramid level ----------------------------------------------
+    cls_outputs = []
+    box_outputs = []
+    for level, feat in enumerate(pyramid):
+        cls_outputs.append(
+            _head(b, feat, fpn_ch, num_anchors * num_classes, head_depth, f"cls_p{level+3}"))
+        box_outputs.append(
+            _head(b, feat, fpn_ch, num_anchors * 4, head_depth, f"box_p{level+3}"))
+
+    cls_cat = b.concat(cls_outputs, axis=1, name="cls_concat")
+    cls_prob = b.sigmoid(cls_cat, name="cls_prob")
+    box_cat = b.concat(box_outputs, axis=1, name="box_concat")
+
+    b.output(cls_prob)
+    b.output(box_cat)
+    return b.build()

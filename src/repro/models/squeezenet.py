@@ -1,0 +1,82 @@
+"""SqueezeNet 1.1 dataflow graph.
+
+The paper's Fig. 1 shows the characteristic SqueezeNet *fire module*: a
+squeeze 1x1 convolution feeding two parallel expand branches (1x1 and 3x3)
+whose outputs are concatenated.  Those two mutually independent paths are
+exactly what the Linear Clustering pass later places on different cores
+(Fig. 5).  Table I lists 66 nodes and a potential parallelism of 0.86x —
+below 1, predicting a slowdown when parallelized, which Table IV confirms.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.model import Model
+
+
+def _fire_module(b: GraphBuilder, x: str, squeeze_ch: int, expand_ch: int) -> str:
+    """One fire module: squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat."""
+    squeezed = b.conv_relu(x, squeeze_ch, kernel=1, name=b.fresh("fire_squeeze"))
+    expand1 = b.conv_relu(squeezed, expand_ch, kernel=1, name=b.fresh("fire_expand1x1"))
+    expand3 = b.conv_relu(squeezed, expand_ch, kernel=3, pads=1,
+                          name=b.fresh("fire_expand3x3"))
+    return b.concat([expand1, expand3], axis=1)
+
+
+def build_squeezenet(
+    image_size: int = 64,
+    batch_size: int = 1,
+    num_classes: int = 100,
+    channel_scale: float = 1.0,
+    seed: int = 0,
+) -> Model:
+    """Build the SqueezeNet 1.1 dataflow graph.
+
+    Parameters
+    ----------
+    image_size:
+        Input spatial resolution (the paper uses 224; the default is reduced
+        so real execution stays fast — topology and node count are identical).
+    batch_size:
+        Leading batch dimension (1 for the paper's main experiments).
+    num_classes:
+        Classifier width.
+    channel_scale:
+        Multiplier on channel widths (1.0 reproduces the standard widths).
+    seed:
+        RNG seed for the random weights.
+    """
+    def ch(c: int) -> int:
+        return max(int(round(c * channel_scale)), 4)
+
+    b = GraphBuilder("squeezenet", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    # Stem
+    y = b.conv_relu(x, ch(64), kernel=3, strides=2, pads=1, name="stem_conv")
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Fire modules 2-3
+    y = _fire_module(b, y, ch(16), ch(64))
+    y = _fire_module(b, y, ch(16), ch(64))
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Fire modules 4-5
+    y = _fire_module(b, y, ch(32), ch(128))
+    y = _fire_module(b, y, ch(32), ch(128))
+    y = b.maxpool(y, kernel=3, strides=2, ceil_mode=True)
+
+    # Fire modules 6-9
+    y = _fire_module(b, y, ch(48), ch(192))
+    y = _fire_module(b, y, ch(48), ch(192))
+    y = _fire_module(b, y, ch(64), ch(256))
+    y = _fire_module(b, y, ch(64), ch(256))
+
+    # Classifier: final 1x1 conv to num_classes, global pool, flatten, softmax
+    y = b.conv_relu(y, num_classes, kernel=1, name="classifier_conv")
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.softmax(y, axis=-1)
+
+    b.output(y)
+    return b.build()

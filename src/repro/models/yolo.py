@@ -1,0 +1,181 @@
+"""YOLO V5 dataflow graph.
+
+YOLOv5 uses Conv->Sigmoid->Mul ("SiLU") blocks, CSP bottlenecks (C3
+modules), an SPPF block and an FPN/PAN neck feeding three detection heads.
+The detection heads are followed by grid/anchor post-processing subgraphs
+built from Shape/Range/Expand/Concat operators whose inputs are entirely
+static — exactly the structures the paper prunes with constant propagation
+and dead-code elimination (Fig. 6, Table III: Yolo's cluster count drops
+from 12 to 9 after CP+DCE and its speedup recovers from 0.96x to 1.06x).
+
+Table I lists 280 nodes and a potential parallelism of 1.18x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.model import Model
+
+
+def _cbs(b: GraphBuilder, x: str, out_ch: int, kernel: int = 3, strides: int = 1,
+         pads: int = 1) -> str:
+    """Conv + Sigmoid + Mul block (SiLU activation spelled out as in ONNX exports)."""
+    conv = b.conv(x, out_ch, kernel=kernel, strides=strides, pads=pads,
+                  name=b.fresh("cbs_conv"))
+    sig = b.sigmoid(conv)
+    return b.mul(conv, sig)
+
+
+def _bottleneck(b: GraphBuilder, x: str, ch: int, shortcut: bool = True) -> str:
+    """Standard YOLO bottleneck: two CBS blocks with an optional residual add."""
+    y = _cbs(b, x, ch, kernel=1, pads=0)
+    y = _cbs(b, y, ch, kernel=3, pads=1)
+    if shortcut:
+        y = b.add(x, y)
+    return y
+
+
+def _c3(b: GraphBuilder, x: str, out_ch: int, n: int = 1, shortcut: bool = True) -> str:
+    """C3 CSP module: two parallel 1x1 paths, ``n`` bottlenecks, concat, 1x1 fuse."""
+    hidden = max(out_ch // 2, 4)
+    main = _cbs(b, x, hidden, kernel=1, pads=0)
+    for _ in range(n):
+        main = _bottleneck(b, main, hidden, shortcut=shortcut)
+    side = _cbs(b, x, hidden, kernel=1, pads=0)
+    merged = b.concat([main, side], axis=1)
+    return _cbs(b, merged, out_ch, kernel=1, pads=0)
+
+
+def _sppf(b: GraphBuilder, x: str, out_ch: int) -> str:
+    """Spatial pyramid pooling (fast): cascaded max-pools concatenated."""
+    hidden = max(out_ch // 2, 4)
+    y = _cbs(b, x, hidden, kernel=1, pads=0)
+    p1 = b.maxpool(y, kernel=5, strides=1, pads=2)
+    p2 = b.maxpool(p1, kernel=5, strides=1, pads=2)
+    p3 = b.maxpool(p2, kernel=5, strides=1, pads=2)
+    merged = b.concat([y, p1, p2, p3], axis=1)
+    return _cbs(b, merged, out_ch, kernel=1, pads=0)
+
+
+def _detect_head(b: GraphBuilder, feat: str, num_outputs: int, num_anchors: int = 3,
+                 level: int = 0) -> str:
+    """One detection head with the constant-foldable grid/anchor post-processing."""
+    pred = b.conv(feat, num_anchors * num_outputs, kernel=1,
+                  name=f"detect_conv_p{level}")
+    sig = b.sigmoid(pred)
+
+    # ---- grid generation subgraph (all-static, prunable by CP+DCE) --------
+    # In the exported ONNX graph this is built from Shape/Gather/Range/etc.;
+    # every input is an initializer or a static shape, so constant folding
+    # collapses the whole chain to a single constant grid tensor.
+    shape = b.shape_of(pred, name=f"grid_shape_p{level}")
+    h_idx = b.const(np.asarray([2], dtype=np.int64), prefix=f"grid_h_index_p{level}")
+    w_idx = b.const(np.asarray([3], dtype=np.int64), prefix=f"grid_w_index_p{level}")
+    grid_h = b.gather(shape, h_idx, axis=0, name=f"grid_h_p{level}")
+    grid_w = b.gather(shape, w_idx, axis=0, name=f"grid_w_p{level}")
+    grid_hw = b.concat([grid_h, grid_w], axis=0, name=f"grid_hw_p{level}")
+    grid_cast = b.cast(grid_hw, to="float32", name=f"grid_cast_p{level}")
+    anchor = b.const(
+        np.asarray([[10.0, 13.0], [16.0, 30.0], [33.0, 23.0]], dtype=np.float32) / (8 << level),
+        prefix=f"anchors_p{level}",
+    )
+    anchor_scaled = b.mul(anchor, b.const(np.asarray(8 << level, dtype=np.float32),
+                                          prefix=f"stride_p{level}"),
+                          name=f"anchor_scale_p{level}")
+    # Dead branch: the training-time loss target normalization is exported
+    # but its result feeds nothing (classic DCE fodder).
+    dead = b.div(anchor_scaled, grid_cast, name=f"dead_norm_p{level}")
+    dead = b.sqrt(dead, name=f"dead_sqrt_p{level}")
+
+    # ---- live decode path ---------------------------------------------------
+    # Box decoding splits the prediction into xy / wh / objectness+class
+    # slices that are decoded by three mutually independent arithmetic
+    # chains before being concatenated back — small parallel paths hanging
+    # off each detection head, as in the exported YOLOv5 graph.
+    per_anchor = num_outputs
+    xy = b.slice(sig, starts=[0], ends=[2 * num_anchors], axes=[1],
+                 name=f"decode_xy_slice_p{level}")
+    wh = b.slice(sig, starts=[2 * num_anchors], ends=[4 * num_anchors], axes=[1],
+                 name=f"decode_wh_slice_p{level}")
+    conf = b.slice(sig, starts=[4 * num_anchors], ends=[num_anchors * per_anchor], axes=[1],
+                   name=f"decode_conf_slice_p{level}")
+
+    two = b.const(np.asarray(2.0, dtype=np.float32), prefix=f"decode_two_p{level}")
+    half = b.const(np.asarray(0.5, dtype=np.float32), prefix=f"decode_half_p{level}")
+    stride_c = b.const(np.asarray(float(8 << level), dtype=np.float32),
+                       prefix=f"decode_stride_p{level}")
+
+    xy_d = b.mul(xy, two, name=f"decode_xy_mul_p{level}")
+    xy_d = b.sub(xy_d, half, name=f"decode_xy_sub_p{level}")
+    xy_d = b.mul(xy_d, stride_c, name=f"decode_xy_scale_p{level}")
+
+    wh_d = b.mul(wh, two, name=f"decode_wh_mul_p{level}")
+    wh_d = b.pow(wh_d, two, name=f"decode_wh_pow_p{level}")
+    wh_d = b.mul(wh_d, stride_c, name=f"decode_wh_scale_p{level}")
+
+    conf_d = b.mul(conf, b.const(np.asarray(1.0, dtype=np.float32),
+                                 prefix=f"decode_conf_one_p{level}"),
+                   name=f"decode_conf_mul_p{level}")
+
+    decoded = b.concat([xy_d, wh_d, conf_d], axis=1, name=f"decode_concat_p{level}")
+    flat = b.flatten(decoded, axis=1, name=f"decode_flatten_p{level}")
+    return flat
+
+
+def build_yolo_v5(
+    image_size: int = 64,
+    batch_size: int = 1,
+    num_classes: int = 20,
+    channel_scale: float = 0.25,
+    seed: int = 4,
+) -> Model:
+    """Build the YOLO V5 dataflow graph (backbone + PAN neck + 3 detect heads)."""
+    def ch(c: int) -> int:
+        return max(int(round(c * channel_scale)), 4)
+
+    b = GraphBuilder("yolo_v5", seed=seed)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+
+    # Backbone ---------------------------------------------------------------
+    y = _cbs(b, x, ch(64), kernel=6, strides=2, pads=2)          # P1
+    y = _cbs(b, y, ch(128), kernel=3, strides=2, pads=1)         # P2
+    y = _c3(b, y, ch(128), n=1)
+    y = _cbs(b, y, ch(256), kernel=3, strides=2, pads=1)         # P3
+    p3 = _c3(b, y, ch(256), n=2)
+    y = _cbs(b, p3, ch(512), kernel=3, strides=2, pads=1)        # P4
+    p4 = _c3(b, y, ch(512), n=3)
+    y = _cbs(b, p4, ch(1024), kernel=3, strides=2, pads=1)       # P5
+    y = _c3(b, y, ch(1024), n=1)
+    p5 = _sppf(b, y, ch(1024))
+
+    # Neck (FPN top-down) ------------------------------------------------------
+    up5 = _cbs(b, p5, ch(512), kernel=1, pads=0)
+    up5_resized = b.resize(up5, scale=2.0)
+    cat4 = b.concat([up5_resized, p4], axis=1)
+    n4 = _c3(b, cat4, ch(512), n=1, shortcut=False)
+
+    up4 = _cbs(b, n4, ch(256), kernel=1, pads=0)
+    up4_resized = b.resize(up4, scale=2.0)
+    cat3 = b.concat([up4_resized, p3], axis=1)
+    n3 = _c3(b, cat3, ch(256), n=1, shortcut=False)               # detect P3
+
+    # Neck (PAN bottom-up) ------------------------------------------------------
+    down3 = _cbs(b, n3, ch(256), kernel=3, strides=2, pads=1)
+    cat4b = b.concat([down3, up4], axis=1)
+    n4b = _c3(b, cat4b, ch(512), n=1, shortcut=False)              # detect P4
+
+    down4 = _cbs(b, n4b, ch(512), kernel=3, strides=2, pads=1)
+    cat5b = b.concat([down4, up5], axis=1)
+    n5b = _c3(b, cat5b, ch(1024), n=1, shortcut=False)             # detect P5
+
+    # Detection heads -----------------------------------------------------------
+    num_outputs = num_classes + 5
+    d3 = _detect_head(b, n3, num_outputs, level=0)
+    d4 = _detect_head(b, n4b, num_outputs, level=1)
+    d5 = _detect_head(b, n5b, num_outputs, level=2)
+
+    out = b.concat([d3, d4, d5], axis=1, name="detections")
+    b.output(out)
+    return b.build()

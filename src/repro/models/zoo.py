@@ -1,0 +1,225 @@
+"""Model registry and the paper's reference numbers.
+
+:data:`MODEL_REGISTRY` maps the model names used throughout the paper's
+tables to builder callables with two standard configurations:
+
+* ``default`` — the full-size graph whose node count approximates Table I,
+* ``small`` — a reduced variant used by the test-suite so that end-to-end
+  tests (including real execution of generated parallel code) stay fast.
+
+:data:`PAPER_TABLE1` records the values the paper reports in Table I so
+that benchmarks and EXPERIMENTS.md can print paper-vs-measured columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.model import Model
+from repro.models.bert import build_bert
+from repro.models.googlenet import build_googlenet
+from repro.models.inception import build_inception_v3, build_inception_v4
+from repro.models.nasnet import build_nasnet
+from repro.models.retinanet import build_retinanet
+from repro.models.squeezenet import build_squeezenet
+from repro.models.yolo import build_yolo_v5
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """One registered model: builder callable plus configuration presets."""
+
+    name: str
+    builder: Callable[..., Model]
+    default_kwargs: Dict[str, object]
+    small_kwargs: Dict[str, object]
+    description: str = ""
+
+    def build(self, variant: str = "default", **overrides) -> Model:
+        """Build the model in the requested variant with optional overrides."""
+        if variant == "default":
+            kwargs = dict(self.default_kwargs)
+        elif variant == "small":
+            kwargs = dict(self.small_kwargs)
+        else:
+            raise ValueError(f"unknown variant {variant!r}; use 'default' or 'small'")
+        kwargs.update(overrides)
+        return self.builder(**kwargs)
+
+
+#: Paper Table I — potential parallelism in the studied ML dataflow graphs.
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "squeezenet": {"nodes": 66, "wt_node_cost": 187, "wt_cp": 218, "parallelism": 0.86},
+    "googlenet": {"nodes": 153, "wt_node_cost": 373, "wt_cp": 264, "parallelism": 1.4},
+    "inception_v3": {"nodes": 238, "wt_node_cost": 1136, "wt_cp": 829, "parallelism": 1.37},
+    "inception_v4": {"nodes": 339, "wt_node_cost": 1763, "wt_cp": 1334, "parallelism": 1.32},
+    "yolo_v5": {"nodes": 280, "wt_node_cost": 730, "wt_cp": 619, "parallelism": 1.18},
+    "retinanet": {"nodes": 450, "wt_node_cost": 1291, "wt_cp": 1102, "parallelism": 1.2},
+    "bert": {"nodes": 963, "wt_node_cost": 21357, "wt_cp": 16870, "parallelism": 1.27},
+    "nasnet": {"nodes": 1426, "wt_node_cost": 8147, "wt_cp": 2187, "parallelism": 3.7},
+}
+
+#: Paper Table II — number of clusters before/after cluster merging.
+PAPER_TABLE2: Dict[str, Dict[str, int]] = {
+    "squeezenet": {"before": 9, "after": 2},
+    "googlenet": {"before": 30, "after": 4},
+    "inception_v3": {"before": 38, "after": 6},
+    "inception_v4": {"before": 55, "after": 6},
+    "yolo_v5": {"before": 29, "after": 12},
+    "bert": {"before": 76, "after": 5},
+    "retinanet": {"before": 16, "after": 10},
+    "nasnet": {"before": 244, "after": 67},
+}
+
+#: Paper Table III — clusters after constant propagation + DCE.
+PAPER_TABLE3: Dict[str, Dict[str, int]] = {
+    "yolo_v5": {"before_cp": 12, "after_cp": 9},
+    "nasnet": {"before_cp": 67, "after_cp": 9},
+    "bert": {"before_cp": 5, "after_cp": 3},
+}
+
+#: Paper Table IV — sequential vs LC-parallel runtime (ms) and speedup.
+PAPER_TABLE4: Dict[str, Dict[str, float]] = {
+    "squeezenet": {"parallelism": 0.86, "clusters": 2, "seq_ms": 85, "par_ms": 103, "speedup": 0.83},
+    "googlenet": {"parallelism": 1.4, "clusters": 4, "seq_ms": 188, "par_ms": 156, "speedup": 1.2},
+    "inception_v3": {"parallelism": 1.37, "clusters": 6, "seq_ms": 559, "par_ms": 422, "speedup": 1.32},
+    "inception_v4": {"parallelism": 1.32, "clusters": 6, "seq_ms": 1212, "par_ms": 840, "speedup": 1.44},
+    "yolo_v5": {"parallelism": 1.18, "clusters": 12, "seq_ms": 790, "par_ms": 820, "speedup": 0.96},
+    "bert": {"parallelism": 1.27, "clusters": 6, "seq_ms": 3296, "par_ms": 3071, "speedup": 1.07},
+    "retinanet": {"parallelism": 1.2, "clusters": 10, "seq_ms": 4311, "par_ms": 3361, "speedup": 1.3},
+    "nasnet": {"parallelism": 3.7, "clusters": 67, "seq_ms": 2271, "par_ms": 1351, "speedup": 1.7},
+}
+
+#: Paper Table VI — speedup with LC vs LC + CP + DCE.
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "yolo_v5": {"s_lc": 0.96, "s_lc_dce": 1.06},
+    "bert": {"s_lc": 1.07, "s_lc_dce": 1.15},
+    "nasnet": {"s_lc": 1.7, "s_lc_dce": 1.91},
+}
+
+#: Paper Table VII — overall speedups (LC, +CP/DCE, +cloning, overall).
+PAPER_TABLE7: Dict[str, Dict[str, Optional[float]]] = {
+    "squeezenet": {"s_lc": 0.83, "s_lc_dce": None, "s_lc_clone": 0.95, "s_overall": 0.95},
+    "googlenet": {"s_lc": 1.2, "s_lc_dce": None, "s_lc_clone": 1.33, "s_overall": 1.33},
+    "inception_v3": {"s_lc": 1.32, "s_lc_dce": None, "s_lc_clone": 1.42, "s_overall": 1.42},
+    "inception_v4": {"s_lc": 1.44, "s_lc_dce": None, "s_lc_clone": 1.55, "s_overall": 1.55},
+    "bert": {"s_lc": 1.07, "s_lc_dce": 1.15, "s_lc_clone": 1.1, "s_overall": 1.18},
+    "yolo_v5": {"s_lc": 0.96, "s_lc_dce": 1.06, "s_lc_clone": None, "s_overall": 1.06},
+    "retinanet": {"s_lc": 1.3, "s_lc_dce": None, "s_lc_clone": 1.4, "s_overall": 1.4},
+    "nasnet": {"s_lc": 1.7, "s_lc_dce": 1.91, "s_lc_clone": None, "s_overall": 1.91},
+}
+
+#: Paper Table VIII — comparison with IOS (speedup + compile time seconds).
+PAPER_TABLE8: Dict[str, Dict[str, float]] = {
+    "squeezenet": {"speedup_ours": 0.95, "ct_ours_s": 2.2, "speedup_ios": 1.15, "ct_ios_s": 60},
+    "inception_v3": {"speedup_ours": 1.55, "ct_ours_s": 5.2, "speedup_ios": 1.59, "ct_ios_s": 60},
+    "nasnet": {"speedup_ours": 1.91, "ct_ours_s": 9.7, "speedup_ios": 1.4, "ct_ios_s": 5400},
+}
+
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    "squeezenet": ModelSpec(
+        name="squeezenet",
+        builder=build_squeezenet,
+        default_kwargs={"image_size": 64},
+        small_kwargs={"image_size": 32, "channel_scale": 0.5},
+        description="SqueezeNet 1.1 — fire modules with two parallel expand branches",
+    ),
+    "googlenet": ModelSpec(
+        name="googlenet",
+        builder=build_googlenet,
+        default_kwargs={"image_size": 64},
+        small_kwargs={"image_size": 32, "channel_scale": 0.25},
+        description="GoogLeNet — nine 4-way inception modules",
+    ),
+    "inception_v3": ModelSpec(
+        name="inception_v3",
+        builder=build_inception_v3,
+        default_kwargs={"image_size": 96},
+        small_kwargs={"image_size": 96, "channel_scale": 0.25},
+        description="Inception V3 — A/B/E inception stages with factorized convolutions",
+    ),
+    "inception_v4": ModelSpec(
+        name="inception_v4",
+        builder=build_inception_v4,
+        default_kwargs={"image_size": 96},
+        small_kwargs={"image_size": 96, "channel_scale": 0.25},
+        description="Inception V4 — larger stem and more inception stages",
+    ),
+    "yolo_v5": ModelSpec(
+        name="yolo_v5",
+        builder=build_yolo_v5,
+        default_kwargs={"image_size": 64},
+        small_kwargs={"image_size": 32, "channel_scale": 0.125},
+        description="YOLO V5 — CSP backbone, PAN neck, 3 detect heads with static grid chains",
+    ),
+    "retinanet": ModelSpec(
+        name="retinanet",
+        builder=build_retinanet,
+        default_kwargs={"image_size": 64},
+        small_kwargs={"image_size": 32, "channel_scale": 0.125, "head_depth": 2},
+        description="RetinaNet — ResNet-50 backbone, FPN and per-level dense heads",
+    ),
+    "bert": ModelSpec(
+        name="bert",
+        builder=build_bert,
+        default_kwargs={"seq_len": 64, "hidden": 256, "num_layers": 12},
+        small_kwargs={"seq_len": 16, "hidden": 64, "num_layers": 2},
+        description="BERT encoder — 12 transformer layers with decomposed LayerNorm/GELU",
+    ),
+    "nasnet": ModelSpec(
+        name="nasnet",
+        builder=build_nasnet,
+        default_kwargs={"image_size": 32, "num_cells_per_stack": 7, "channels": 32},
+        small_kwargs={"image_size": 16, "num_cells_per_stack": 1, "channels": 8},
+        description="NASNet-A — stacked search cells with very high fan-out",
+    ),
+}
+
+#: Aliases accepted by :func:`build_model` (paper table spellings).
+_ALIASES = {
+    "inception": "inception_v3",
+    "inceptionv3": "inception_v3",
+    "inceptionv4": "inception_v4",
+    "yolo": "yolo_v5",
+    "yolov5": "yolo_v5",
+    "googlenet": "googlenet",
+    "squeeznet": "squeezenet",
+}
+
+
+def list_models() -> List[str]:
+    """Names of all registered models, in the paper's Table-I order."""
+    return list(MODEL_REGISTRY)
+
+
+def paper_reference(table: str = "table1") -> Dict[str, Dict]:
+    """Return one of the paper's reference tables by short name."""
+    tables = {
+        "table1": PAPER_TABLE1,
+        "table2": PAPER_TABLE2,
+        "table3": PAPER_TABLE3,
+        "table4": PAPER_TABLE4,
+        "table6": PAPER_TABLE6,
+        "table7": PAPER_TABLE7,
+        "table8": PAPER_TABLE8,
+    }
+    try:
+        return tables[table.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown paper table {table!r}; options: {sorted(tables)}") from exc
+
+
+def build_model(name: str, variant: str = "default", **overrides) -> Model:
+    """Build a registered model by name (aliases like "yolo" are accepted)."""
+    key = name.lower().replace("-", "_").replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}")
+    return MODEL_REGISTRY[key].build(variant=variant, **overrides)
+
+
+def build_all_models(variant: str = "default") -> Dict[str, Model]:
+    """Build every registered model (used by the Table I / II benchmarks)."""
+    return {name: spec.build(variant=variant) for name, spec in MODEL_REGISTRY.items()}

@@ -1,0 +1,64 @@
+"""Constant propagation (the paper's "Horizontal branch reduction").
+
+Constant propagation subsumes constant folding and additionally simplifies
+the shape-manipulation chains (Shape -> Gather -> Concat -> Reshape, grid
+generation in YOLO, head-split bookkeeping in BERT, path-dropout masks in
+NASNet) whose inputs are static.  After propagation those chains are fully
+materialized as initializers and dead-code elimination deletes the nodes,
+which is exactly the effect Fig. 6 shows for YOLO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.ir.model import Graph
+from repro.passes.constant_folding import fold_constants
+from repro.passes.pass_manager import GraphPass
+
+
+def _materialize_static_shape_ops(graph: Graph) -> int:
+    """Replace ``Shape`` nodes over statically-shaped values with constants.
+
+    ``fold_constants`` can only fold a ``Shape`` node when its *input data*
+    is constant, but the shape of an activation is known statically whenever
+    shape inference has resolved it — the value itself need not be constant.
+    Converting those nodes unlocks folding of the downstream chain.
+    """
+    changed = 0
+    graph_outputs = set(graph.output_names)
+    for node in list(graph.nodes):
+        if node.op_type != "Shape":
+            continue
+        out_name = node.primary_output
+        if out_name in graph.initializers or out_name in graph_outputs:
+            continue
+        info = graph.tensor_info(node.inputs[0])
+        if info is None or info.shape is None or any(d is None for d in info.shape):
+            continue
+        graph.add_initializer(out_name, np.asarray(info.shape, dtype=np.int64))
+        graph.remove_nodes([node.name])
+        changed += 1
+    return changed
+
+
+def propagate_constants(graph: Graph) -> int:
+    """Run shape materialization + constant folding; returns change count."""
+    from repro.ir.shape_inference import infer_shapes
+
+    # Refresh value_info so newly created values from earlier passes are known.
+    infer_shapes(graph)
+    changed = _materialize_static_shape_ops(graph)
+    changed += fold_constants(graph)
+    return changed
+
+
+class ConstantPropagationPass(GraphPass):
+    """Pass-manager wrapper around :func:`propagate_constants`."""
+
+    name = "constant-propagation"
+
+    def run(self, graph: Graph) -> int:
+        return propagate_constants(graph)

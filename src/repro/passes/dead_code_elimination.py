@@ -1,0 +1,63 @@
+"""Dead-code elimination: remove nodes that cannot reach any graph output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.model import Graph
+from repro.passes.pass_manager import GraphPass
+
+
+def eliminate_dead_code(graph: Graph, prune_initializers: bool = True) -> int:
+    """Remove nodes whose outputs (transitively) feed no graph output.
+
+    Returns the number of nodes removed.  Optionally also drops initializers
+    that are no longer referenced, which keeps serialized pruned models small.
+    """
+    producers = graph.producers()
+    consumers = graph.consumers()
+
+    # Walk backwards from the graph outputs, marking live nodes.
+    live_nodes: Set[str] = set()
+    worklist: List[str] = []
+    for out_name in graph.output_names:
+        producer = producers.get(out_name)
+        if producer is not None:
+            worklist.append(producer.name)
+    node_by_name = {n.name: n for n in graph.nodes}
+    while worklist:
+        name = worklist.pop()
+        if name in live_nodes:
+            continue
+        live_nodes.add(name)
+        node = node_by_name[name]
+        for inp in node.present_inputs:
+            producer = producers.get(inp)
+            if producer is not None and producer.name not in live_nodes:
+                worklist.append(producer.name)
+
+    dead = [n.name for n in graph.nodes if n.name not in live_nodes]
+    removed = graph.remove_nodes(dead)
+
+    if prune_initializers and removed:
+        referenced: Set[str] = set(graph.output_names)
+        for node in graph.nodes:
+            referenced.update(node.present_inputs)
+        for name in list(graph.initializers):
+            if name not in referenced:
+                del graph.initializers[name]
+                graph.value_info.pop(name, None)
+    return removed
+
+
+class DeadCodeEliminationPass(GraphPass):
+    """Pass-manager wrapper around :func:`eliminate_dead_code`."""
+
+    name = "dead-code-elimination"
+
+    def __init__(self, prune_initializers: bool = True) -> None:
+        super().__init__()
+        self.prune_initializers = prune_initializers
+
+    def run(self, graph: Graph) -> int:
+        return eliminate_dead_code(graph, self.prune_initializers)

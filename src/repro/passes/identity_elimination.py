@@ -1,0 +1,77 @@
+"""Removal of semantic no-ops: Identity, inference-mode Dropout, unit Pads.
+
+These appear in exported inference graphs (Dropout is kept by some
+exporters even though it is the identity at inference time) and only add
+edges to the critical path, so pruning them before clustering both
+shortens the CP and reduces message traffic in the generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ir.model import Graph
+from repro.passes.pass_manager import GraphPass
+
+
+def _rewire(graph: Graph, old_value: str, new_value: str) -> None:
+    """Redirect every consumer of ``old_value`` to read ``new_value`` instead."""
+    for node in graph.nodes:
+        node.rename_input(old_value, new_value)
+    for idx, out in enumerate(graph.outputs):
+        if out.name == old_value:
+            # A graph output cannot silently change name; keep the output
+            # name stable by leaving it to the caller (we only rewire when
+            # the value is not a graph output).
+            raise AssertionError("attempted to rewire a graph output")
+
+
+def _is_noop_pad(node, graph: Graph) -> bool:
+    if node.op_type != "Pad":
+        return False
+    pads = node.get_attr("pads")
+    if pads is None and len(node.present_inputs) > 1:
+        init = graph.initializers.get(node.inputs[1])
+        pads = None if init is None else [int(v) for v in np.atleast_1d(init)]
+    return pads is not None and all(int(p) == 0 for p in pads)
+
+
+def eliminate_identities(graph: Graph) -> int:
+    """Remove Identity/Dropout/no-op Pad nodes by rewiring their consumers.
+
+    Nodes whose output is a graph output are left untouched (removing them
+    would change the output name).  Returns the number of nodes removed.
+    """
+    graph_outputs = set(graph.output_names)
+    removed: List[str] = []
+    for node in list(graph.nodes):
+        passthrough = (
+            node.op_type in ("Identity",)
+            or (node.op_type == "Dropout")
+            or _is_noop_pad(node, graph)
+        )
+        if not passthrough:
+            continue
+        source = node.inputs[0] if node.inputs else ""
+        primary = node.outputs[0] if node.outputs else ""
+        if not source or not primary:
+            continue
+        if primary in graph_outputs or any(
+            out in graph_outputs for out in node.outputs if out
+        ):
+            continue
+        _rewire(graph, primary, source)
+        removed.append(node.name)
+    graph.remove_nodes(removed)
+    return len(removed)
+
+
+class IdentityEliminationPass(GraphPass):
+    """Pass-manager wrapper around :func:`eliminate_identities`."""
+
+    name = "identity-elimination"
+
+    def run(self, graph: Graph) -> int:
+        return eliminate_identities(graph)

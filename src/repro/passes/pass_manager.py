@@ -1,0 +1,92 @@
+"""Pass manager: ordered graph passes iterated to a fixpoint."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import time
+from typing import Dict, List, Sequence
+
+from repro.ir.model import Graph
+from repro.ir.validation import validate_graph
+
+
+class GraphPass(abc.ABC):
+    """Base class for graph-transforming passes.
+
+    A pass mutates the graph in place and reports how many changes it made;
+    the manager uses the change count to decide when a fixpoint is reached.
+    """
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, graph: Graph) -> int:
+        """Apply the pass to ``graph`` in place; return the number of changes."""
+
+
+@dataclasses.dataclass
+class PassResult:
+    """Summary of one :meth:`PassManager.run` invocation."""
+
+    iterations: int
+    total_changes: int
+    per_pass_changes: Dict[str, int]
+    elapsed_s: float
+
+
+class PassManager:
+    """Run an ordered list of passes repeatedly until nothing changes.
+
+    Parameters
+    ----------
+    passes:
+        The passes, applied in order within each iteration.
+    max_iterations:
+        Safety bound on fixpoint iterations.
+    validate:
+        Re-validate the graph after every iteration (cheap insurance that a
+        pass never leaves the IR structurally broken).
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[GraphPass],
+        max_iterations: int = 8,
+        validate: bool = True,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.passes: List[GraphPass] = list(passes)
+        self.max_iterations = max_iterations
+        self.validate = validate
+
+    def run(self, graph: Graph) -> PassResult:
+        """Apply all passes to ``graph`` until a fixpoint (or the iteration cap)."""
+        start = time.perf_counter()
+        per_pass: Dict[str, int] = {p.name: 0 for p in self.passes}
+        total = 0
+        iterations = 0
+        for _ in range(self.max_iterations):
+            iterations += 1
+            changed_this_round = 0
+            for p in self.passes:
+                changes = p.run(graph)
+                per_pass[p.name] = per_pass.get(p.name, 0) + changes
+                changed_this_round += changes
+            if self.validate:
+                validate_graph(graph, check_schemas=False)
+            total += changed_this_round
+            if changed_this_round == 0:
+                break
+        return PassResult(
+            iterations=iterations,
+            total_changes=total,
+            per_pass_changes=per_pass,
+            elapsed_s=time.perf_counter() - start,
+        )

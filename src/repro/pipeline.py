@@ -1,0 +1,237 @@
+"""The Ramiel end-to-end pipeline (Fig. 10).
+
+``ONNX-like model -> [CP+DCE pruning] -> [cloning] -> Model2Graph ->
+distance pass -> linear clustering -> cluster merging ->
+[hyperclustering] -> parallel + sequential code generation``
+
+:func:`ramiel_compile` runs the whole pipeline and returns a
+:class:`RamielResult` bundling the clusterings, the generated modules, the
+schedule prediction and compile-time statistics — everything the examples,
+tests and benchmarks need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.speedup import ExperimentConfig
+from repro.clustering import (
+    build_hyperclusters,
+    build_switched_hyperclusters,
+    clone_cheap_producers,
+    linear_clustering,
+    merge_clusters_fixpoint,
+)
+from repro.clustering.cluster import Clustering
+from repro.clustering.schedule import ScheduleResult, ScheduleSimulator, SimulationConfig
+from repro.clustering.validation import validate_clustering
+from repro.codegen import (
+    GeneratedModule,
+    generate_parallel_module,
+    generate_parallel_source,
+    generate_sequential_module,
+    generate_sequential_source,
+)
+from repro.graph.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.graph.dataflow import DataflowGraph, model_to_dataflow
+from repro.graph.parallelism import ParallelismReport, potential_parallelism
+from repro.ir.model import Model
+from repro.passes import optimize_model
+
+
+@dataclasses.dataclass
+class PipelineConfig:
+    """Configuration of one Ramiel compilation."""
+
+    #: apply constant propagation + dead-code elimination before clustering
+    prune: bool = True
+    #: apply restricted task cloning before clustering
+    clone: bool = False
+    #: inference batch size; > 1 triggers hyperclustering
+    batch_size: int = 1
+    #: use switched (load-balanced) hyperclusters when batch_size > 1
+    switched_hyperclusters: bool = False
+    #: generate code (can be disabled for analysis-only runs)
+    generate_code: bool = True
+    #: directory for the generated modules (temporary when omitted)
+    output_dir: Optional[str] = None
+    #: static cost model
+    cost_model: CostModel = dataclasses.field(default_factory=lambda: DEFAULT_COST_MODEL)
+    #: schedule-simulation parameters
+    num_cores: int = 12
+    message_latency: float = 4.0
+    per_cluster_overhead: float = 20.0
+    #: validate clustering invariants before code generation
+    validate: bool = True
+
+
+@dataclasses.dataclass
+class RamielResult:
+    """Everything produced by one run of the Ramiel pipeline."""
+
+    model: Model
+    optimized_model: Model
+    dataflow_graph: DataflowGraph
+    parallelism: ParallelismReport
+    clustering_lc: Clustering
+    clustering: Clustering
+    schedule: ScheduleResult
+    sequential_module: Optional[GeneratedModule]
+    parallel_module: Optional[GeneratedModule]
+    compile_time_s: float
+    stage_times_s: Dict[str, float]
+    pruning_stats: Optional[dict]
+    cloning_report: Optional[object]
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Speedup predicted by the schedule simulation."""
+        return self.schedule.speedup
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters after merging (and hyperclustering)."""
+        return self.clustering.num_clusters
+
+    def run_sequential(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the generated sequential module."""
+        from repro.runtime.process_runtime import run_sequential_module
+
+        if self.sequential_module is None:
+            raise RuntimeError("pipeline was run with generate_code=False")
+        return run_sequential_module(self.sequential_module,
+                                     inputs, self.optimized_model.graph.initializers)
+
+    def run_parallel(self, inputs: Mapping[str, np.ndarray],
+                     backend: str = "thread") -> Dict[str, np.ndarray]:
+        """Execute the generated parallel module with the chosen backend."""
+        from repro.runtime.process_runtime import execute_generated_module
+
+        if self.parallel_module is None:
+            raise RuntimeError("pipeline was run with generate_code=False")
+        return execute_generated_module(self.parallel_module, inputs,
+                                        self.optimized_model.graph.initializers,
+                                        backend=backend)
+
+    def summary(self) -> dict:
+        """Compact summary used by the CLI and the examples."""
+        return {
+            "model": self.model.name,
+            "nodes": self.optimized_model.num_nodes,
+            "potential_parallelism": round(self.parallelism.parallelism, 2),
+            "clusters_before_merging": self.clustering_lc.num_clusters,
+            "clusters": self.clustering.num_clusters,
+            "predicted_speedup": round(self.predicted_speedup, 2),
+            "compile_time_s": round(self.compile_time_s, 3),
+        }
+
+
+class RamielPipeline:
+    """Object-oriented wrapper over :func:`ramiel_compile` (Fig. 10's tool)."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    def compile(self, model: Model) -> RamielResult:
+        """Run the full pipeline on a model."""
+        return ramiel_compile(model, config=self.config)
+
+
+def ramiel_compile(model: Model, config: Optional[PipelineConfig] = None,
+                   **overrides) -> RamielResult:
+    """Run the Ramiel pipeline on an IR model.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
+    ``ramiel_compile(model, batch_size=4, clone=True)``.
+    """
+    if config is None:
+        config = PipelineConfig(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    stage_times: Dict[str, float] = {}
+    total_start = time.perf_counter()
+
+    # 1. Optional pruning (CP + DCE via the pass manager).
+    pruning_stats = None
+    optimized = model
+    if config.prune:
+        start = time.perf_counter()
+        optimized, pruning_stats = optimize_model(model)
+        stage_times["prune"] = time.perf_counter() - start
+
+    # 2. Optional restricted cloning.
+    cloning_report = None
+    if config.clone:
+        start = time.perf_counter()
+        optimized, cloning_report = clone_cheap_producers(optimized,
+                                                          cost_model=config.cost_model)
+        stage_times["clone"] = time.perf_counter() - start
+
+    # 3. Model2Graph conversion + distance pass + potential parallelism.
+    start = time.perf_counter()
+    dfg = model_to_dataflow(optimized, cost_model=config.cost_model)
+    parallelism = potential_parallelism(dfg, cost_model=config.cost_model)
+    stage_times["graph"] = time.perf_counter() - start
+
+    # 4. Linear clustering + merging.
+    start = time.perf_counter()
+    lc = linear_clustering(dfg)
+    merged = merge_clusters_fixpoint(lc)
+    stage_times["clustering"] = time.perf_counter() - start
+
+    # 5. Optional hyperclustering for batch sizes > 1.
+    clustering = merged
+    if config.batch_size > 1:
+        start = time.perf_counter()
+        builder = (build_switched_hyperclusters if config.switched_hyperclusters
+                   else build_hyperclusters)
+        clustering = builder(merged, config.batch_size)
+        stage_times["hyperclustering"] = time.perf_counter() - start
+
+    if config.validate:
+        validate_clustering(clustering)
+
+    # 6. Schedule prediction.
+    start = time.perf_counter()
+    simulator = ScheduleSimulator(SimulationConfig(
+        num_cores=config.num_cores,
+        message_latency=config.message_latency,
+        per_cluster_overhead=config.per_cluster_overhead,
+    ))
+    schedule = simulator.simulate(clustering)
+    stage_times["simulate"] = time.perf_counter() - start
+
+    # 7. Code generation (sequential + parallel), batch-size-1 graphs only:
+    #    hyperclusters describe replicated graphs whose code generation would
+    #    require replicated inputs; the paper also generates code per sample.
+    sequential_module = None
+    parallel_module = None
+    if config.generate_code:
+        start = time.perf_counter()
+        sequential_module = generate_sequential_module(optimized, directory=config.output_dir)
+        codegen_clustering = merged
+        parallel_module = generate_parallel_module(optimized, codegen_clustering,
+                                                   directory=config.output_dir)
+        stage_times["codegen"] = time.perf_counter() - start
+
+    compile_time = time.perf_counter() - total_start
+    return RamielResult(
+        model=model,
+        optimized_model=optimized,
+        dataflow_graph=dfg,
+        parallelism=parallelism,
+        clustering_lc=lc,
+        clustering=clustering,
+        schedule=schedule,
+        sequential_module=sequential_module,
+        parallel_module=parallel_module,
+        compile_time_s=compile_time,
+        stage_times_s=stage_times,
+        pruning_stats=pruning_stats,
+        cloning_report=cloning_report,
+    )

@@ -1,0 +1,39 @@
+"""Execution substrate for IR graphs and for Ramiel-generated code.
+
+The paper generates *PyTorch + Python* code.  PyTorch is not available in
+this environment, so this package provides the pieces the generated code
+and the benchmarks need:
+
+* :mod:`repro.runtime.functional` — a flat namespace of numpy-backed
+  operators (``conv2d``, ``relu``, ``matmul``, ``concat`` …).  Generated
+  code imports it as ``import repro.runtime.functional as F`` and calls
+  ``F.conv2d(...)`` exactly where the paper's code would call
+  ``torch.nn.functional.conv2d``.
+* :class:`repro.runtime.executor.GraphExecutor` — a reference interpreter
+  that runs an IR graph directly (used to check generated code against the
+  source model and by constant folding).
+* :mod:`repro.runtime.channels`, :mod:`repro.runtime.process_runtime` and
+  :mod:`repro.runtime.thread_runtime` — the message-passing cluster
+  runtimes (Python processes + queues, as in the paper, plus a thread
+  variant).
+* :mod:`repro.runtime.intra_op` — intra-operator thread parallelism with a
+  ``num_threads`` knob mirroring ``OMP_NUM_THREADS`` (Table V).
+* :mod:`repro.runtime.profiler` — per-node timing and the slack database
+  that drives hyperclustering decisions.
+"""
+
+from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
+from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
+from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
+
+__all__ = [
+    "GraphExecutor",
+    "execute_model",
+    "ExecutionError",
+    "intra_op_threads",
+    "get_num_threads",
+    "set_num_threads",
+    "OpProfile",
+    "GraphProfile",
+    "profile_model",
+]

@@ -1,0 +1,68 @@
+"""Message-passing channels used by generated parallel code.
+
+The generated cluster functions only assume that ``channels[name]`` supports
+``put(obj)`` and ``get()``.  Three factories are provided:
+
+* :func:`make_process_channels` — ``multiprocessing.Queue`` per channel (the
+  paper's configuration: clusters are separate Python processes because of
+  the GIL),
+* :func:`make_thread_channels` — ``queue.Queue`` per channel,
+* :func:`make_serial_channels` — unbounded in-process FIFOs for executing
+  the clusters one after another on a single thread (used to test that the
+  generated code is semantically equivalent to the sequential module even
+  without any parallel runtime).
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import queue
+from typing import Dict, Iterable, Mapping
+
+
+class SerialChannel:
+    """A trivial FIFO with the Queue ``put``/``get`` interface.
+
+    ``get`` on an empty serial channel raises immediately instead of
+    blocking: in the serial schedule every value must have been produced by
+    an earlier cluster, so an empty channel indicates an ordering bug and
+    should fail loudly rather than deadlock.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._items = collections.deque()
+
+    def put(self, item) -> None:
+        """Append an item to the FIFO."""
+        self._items.append(item)
+
+    def get(self):
+        """Pop the oldest item; raises ``LookupError`` when empty."""
+        if not self._items:
+            raise LookupError(
+                f"serial channel {self.name!r} is empty — cluster execution order "
+                "does not satisfy this dependence"
+            )
+        return self._items.popleft()
+
+    def empty(self) -> bool:
+        """True when no items are queued."""
+        return not self._items
+
+
+def make_serial_channels(names: Iterable[str]) -> Dict[str, SerialChannel]:
+    """In-process FIFOs for serial cluster-by-cluster execution."""
+    return {name: SerialChannel(name) for name in names}
+
+
+def make_thread_channels(names: Iterable[str]) -> Dict[str, "queue.Queue"]:
+    """Blocking thread-safe queues for the thread backend."""
+    return {name: queue.Queue() for name in names}
+
+
+def make_process_channels(names: Iterable[str], ctx=None) -> Dict[str, object]:
+    """Multiprocessing queues for the process backend (the paper's runtime)."""
+    ctx = ctx or multiprocessing.get_context()
+    return {name: ctx.Queue() for name in names}

@@ -1,0 +1,114 @@
+"""Flat operator namespace used by Ramiel-generated code.
+
+Generated parallel code imports this module as ``F`` and calls functions
+such as ``F.conv2d`` / ``F.relu`` / ``F.concat`` — the direct analogue of
+the ``torch`` calls in the paper's Fig. 11.  Everything re-exported here is
+a plain numpy function, so the generated modules remain importable, readable
+and debuggable with no framework dependency.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops.activations import (
+    clip,
+    elu,
+    erf,
+    gelu,
+    hard_sigmoid,
+    hard_swish,
+    leaky_relu,
+    log_softmax,
+    mish,
+    prelu,
+    relu,
+    selu,
+    sigmoid,
+    silu,
+    softmax,
+    softplus,
+    tanh,
+)
+from repro.runtime.ops.attention import (
+    merge_heads,
+    multi_head_attention,
+    scaled_dot_product_attention,
+    split_heads,
+)
+from repro.runtime.ops.conv import conv1d, conv2d, conv_transpose2d, depthwise_conv2d
+from repro.runtime.ops.elementwise import (
+    abs_,
+    add,
+    ceil,
+    cos,
+    div,
+    equal,
+    exp,
+    floor,
+    greater,
+    greater_or_equal,
+    less,
+    less_or_equal,
+    log,
+    logical_and,
+    logical_not,
+    logical_or,
+    logical_xor,
+    maximum,
+    minimum,
+    mod,
+    mul,
+    neg,
+    pow_,
+    reciprocal,
+    round_,
+    sign,
+    sin,
+    sqrt,
+    sub,
+    where,
+)
+from repro.runtime.ops.linear import einsum, gemm, linear, matmul
+from repro.runtime.ops.normalization import batch_norm, instance_norm, layer_norm
+from repro.runtime.ops.pooling import (
+    avg_pool2d,
+    global_avg_pool2d,
+    global_max_pool2d,
+    max_pool2d,
+)
+from repro.runtime.ops.reduction import (
+    argmax,
+    argmin,
+    cumsum,
+    reduce_l2,
+    reduce_max,
+    reduce_mean,
+    reduce_min,
+    reduce_prod,
+    reduce_sum,
+    topk,
+)
+from repro.runtime.ops.tensor_manipulation import (
+    cast,
+    concat,
+    constant_of_shape,
+    depth_to_space,
+    expand,
+    flatten,
+    gather,
+    gather_elements,
+    one_hot,
+    pad,
+    reshape,
+    resize_nearest,
+    shape_of,
+    size_of,
+    slice_,
+    space_to_depth,
+    split,
+    squeeze,
+    tile,
+    transpose,
+    unsqueeze,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,108 @@
+"""Intra-operator thread parallelism.
+
+The paper enables "intra-op parallelism" as a downstream optimization by
+varying the number of OpenMP threads PyTorch uses (Table V).  Our numpy
+runtime mirrors that with a module-level thread-count knob plus a helper
+that splits the batch (or another leading dimension) of an operator across
+a thread pool.  Numpy releases the GIL inside its C loops and inside BLAS,
+so this provides genuine concurrency for the heavy operators.
+
+Usage::
+
+    from repro.runtime import intra_op_threads, set_num_threads
+
+    set_num_threads(4)                  # like OMP_NUM_THREADS=4
+    with intra_op_threads(2):           # scoped override
+        y = F.conv2d(x, w)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+_state = threading.local()
+_DEFAULT_NUM_THREADS = 1
+_POOL_LOCK = threading.Lock()
+_POOLS: dict = {}
+
+
+def get_num_threads() -> int:
+    """Current intra-op thread count (thread-local override or global default)."""
+    return getattr(_state, "num_threads", _DEFAULT_NUM_THREADS)
+
+
+def set_num_threads(num_threads: int) -> None:
+    """Set the global default intra-op thread count (like ``OMP_NUM_THREADS``)."""
+    global _DEFAULT_NUM_THREADS
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    _DEFAULT_NUM_THREADS = int(num_threads)
+
+
+@contextlib.contextmanager
+def intra_op_threads(num_threads: int) -> Iterator[None]:
+    """Scoped override of the intra-op thread count for the calling thread."""
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    previous = getattr(_state, "num_threads", None)
+    _state.num_threads = int(num_threads)
+    try:
+        yield
+    finally:
+        if previous is None:
+            del _state.num_threads
+        else:
+            _state.num_threads = previous
+
+
+def _pool(workers: int) -> ThreadPoolExecutor:
+    """Return a shared thread pool with the requested worker count."""
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=workers,
+                                      thread_name_prefix=f"intraop{workers}")
+            _POOLS[workers] = pool
+        return pool
+
+
+def parallel_over_batch(fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray) -> np.ndarray:
+    """Apply ``fn`` to chunks of the leading (batch) dimension in parallel.
+
+    With one intra-op thread (the default, matching the paper's batch-size-1
+    inference focus) this is a plain call.  With more threads and a
+    splittable batch, the work is sharded across the shared pool and the
+    results concatenated.  ``fn`` must be pure and thread-safe.
+    """
+    workers = get_num_threads()
+    n = x.shape[0] if x.ndim > 0 else 1
+    if workers <= 1 or n <= 1:
+        return fn(x)
+    workers = min(workers, n)
+    chunks = np.array_split(np.arange(n), workers)
+    pool = _pool(workers)
+    futures = [pool.submit(fn, x[idx[0]:idx[-1] + 1]) for idx in chunks if len(idx)]
+    parts: List[np.ndarray] = [f.result() for f in futures]
+    return np.concatenate(parts, axis=0)
+
+
+def parallel_map(fn: Callable, items: List, num_threads: Optional[int] = None) -> List:
+    """Map ``fn`` over ``items`` with the intra-op pool (ordered results)."""
+    workers = num_threads if num_threads is not None else get_num_threads()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = _pool(min(workers, len(items)))
+    return list(pool.map(fn, items))
+
+
+def shutdown_pools() -> None:
+    """Dispose of all shared pools (used by tests to avoid thread leaks)."""
+    with _POOL_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown(wait=False)
+        _POOLS.clear()

@@ -1,0 +1,30 @@
+"""Numpy-backed operator implementations.
+
+Each module implements one family of operators with ONNX semantics and
+NCHW tensor layout.  The flat callable namespace that generated code and
+the graph executor use lives in :mod:`repro.runtime.functional`.
+"""
+
+from repro.runtime.ops import (  # noqa: F401
+    activations,
+    attention,
+    conv,
+    elementwise,
+    linear,
+    normalization,
+    pooling,
+    reduction,
+    tensor_manipulation,
+)
+
+__all__ = [
+    "activations",
+    "attention",
+    "conv",
+    "elementwise",
+    "linear",
+    "normalization",
+    "pooling",
+    "reduction",
+    "tensor_manipulation",
+]

@@ -1,0 +1,112 @@
+"""Elementwise activation functions (unit-cost ops in the paper's model)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import special as _special
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x), 0)
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Leaky ReLU with negative-slope ``alpha``."""
+    x = np.asarray(x)
+    return np.where(x >= 0, x, alpha * x)
+
+
+def prelu(x: np.ndarray, slope: np.ndarray) -> np.ndarray:
+    """Parametric ReLU; ``slope`` broadcasts over the channel dimension."""
+    x = np.asarray(x)
+    slope = np.asarray(slope)
+    if slope.ndim == 1 and x.ndim == 4:
+        slope = slope.reshape(1, -1, 1, 1)
+    return np.where(x >= 0, x, slope * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    return _special.expit(np.asarray(x, dtype=np.float32))
+
+
+def hard_sigmoid(x: np.ndarray, alpha: float = 0.2, beta: float = 0.5) -> np.ndarray:
+    """Piecewise-linear sigmoid approximation."""
+    return np.clip(alpha * np.asarray(x) + beta, 0.0, 1.0)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(np.asarray(x))
+
+
+def erf(x: np.ndarray) -> np.ndarray:
+    """Gauss error function (the core of ONNX-exported GELU)."""
+    return _special.erf(np.asarray(x, dtype=np.float32))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (exact formulation)."""
+    x = np.asarray(x, dtype=np.float32)
+    return 0.5 * x * (1.0 + _special.erf(x / np.sqrt(2.0, dtype=np.float32)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation (x * sigmoid(x)), used by Yolo V5."""
+    x = np.asarray(x, dtype=np.float32)
+    return x * sigmoid(x)
+
+
+def hard_swish(x: np.ndarray) -> np.ndarray:
+    """Hard-swish activation."""
+    x = np.asarray(x, dtype=np.float32)
+    return x * np.clip(x / 6.0 + 0.5, 0.0, 1.0)
+
+
+def mish(x: np.ndarray) -> np.ndarray:
+    """Mish activation: x * tanh(softplus(x))."""
+    x = np.asarray(x, dtype=np.float32)
+    return x * np.tanh(softplus(x))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Softplus: log(1 + exp(x)), stabilized."""
+    x = np.asarray(x, dtype=np.float32)
+    return np.logaddexp(0.0, x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Exponential linear unit."""
+    x = np.asarray(x, dtype=np.float32)
+    return np.where(x >= 0, x, alpha * (np.exp(x) - 1.0))
+
+
+def selu(x: np.ndarray, alpha: float = 1.6732632, gamma: float = 1.0507010) -> np.ndarray:
+    """Scaled exponential linear unit."""
+    return gamma * elu(x, alpha)
+
+
+def clip(x: np.ndarray, min_value: Optional[float] = None,
+         max_value: Optional[float] = None) -> np.ndarray:
+    """Clamp values into ``[min_value, max_value]`` (either bound optional)."""
+    lo = -np.inf if min_value is None else min_value
+    hi = np.inf if max_value is None else max_value
+    return np.clip(np.asarray(x), lo, hi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log of softmax, computed stably."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,71 @@
+"""Attention primitives used by the BERT model graphs.
+
+The BERT dataflow graph in the paper is built from ordinary MatMul /
+Add / Softmax / Transpose nodes (the MHA sub-graph of Fig. 3); these
+helpers provide fused reference implementations used by tests and by the
+examples to cross-check the graph-level execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.ops.activations import softmax
+from repro.runtime.ops.linear import linear
+
+
+def scaled_dot_product_attention(
+    query: np.ndarray,
+    key: np.ndarray,
+    value: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Standard scaled dot-product attention.
+
+    Shapes follow the (batch, heads, seq, head_dim) convention.
+    """
+    query = np.asarray(query, dtype=np.float32)
+    key = np.asarray(key, dtype=np.float32)
+    value = np.asarray(value, dtype=np.float32)
+    d_k = query.shape[-1]
+    scores = np.matmul(query, np.swapaxes(key, -1, -2)) / np.sqrt(float(d_k))
+    if mask is not None:
+        scores = scores + np.asarray(mask, dtype=np.float32)
+    weights = softmax(scores, axis=-1)
+    return np.matmul(weights, value)
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+    b, s, h = x.shape
+    head_dim = h // num_heads
+    return x.reshape(b, s, num_heads, head_dim).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+    b, heads, s, head_dim = x.shape
+    return np.ascontiguousarray(x.transpose(0, 2, 1, 3).reshape(b, s, heads * head_dim))
+
+
+def multi_head_attention(
+    x: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    num_heads: int,
+    bq: Optional[np.ndarray] = None,
+    bk: Optional[np.ndarray] = None,
+    bv: Optional[np.ndarray] = None,
+    bo: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reference multi-head self-attention block (pre-projection weights)."""
+    q = split_heads(linear(x, wq, bq), num_heads)
+    k = split_heads(linear(x, wk, bk), num_heads)
+    v = split_heads(linear(x, wv, bv), num_heads)
+    context = scaled_dot_product_attention(q, k, v, mask=mask)
+    return linear(merge_heads(context), wo, bo)

@@ -1,0 +1,153 @@
+"""Convolution operators (im2col + GEMM implementation).
+
+These are the "heavy" operators of the paper's cost model.  The forward
+convolution is implemented as an im2col lowering followed by one matrix
+multiplication per group, which keeps all the arithmetic inside BLAS and
+makes the per-op runtime roughly proportional to the static cost weights
+used by :class:`repro.graph.cost_model.CostModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.intra_op import parallel_over_batch
+from repro.runtime.tensor_utils import as_pair, im2col, normalize_pads
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    strides: Sequence[int] = (1, 1),
+    pads: Sequence[int] = (0, 0, 0, 0),
+    dilations: Sequence[int] = (1, 1),
+    group: int = 1,
+) -> np.ndarray:
+    """2D convolution with ONNX ``Conv`` semantics.
+
+    Parameters
+    ----------
+    x:
+        Input activations, shape ``(N, C, H, W)``.
+    weight:
+        Filters, shape ``(M, C/group, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(M,)``.
+    strides, pads, dilations, group:
+        Standard convolution hyper-parameters; ``pads`` is
+        ``[top, left, bottom, right]`` (a 2-element form is accepted).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    weight = np.asarray(weight, dtype=np.float32)
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4D input/weight, got {x.shape} and {weight.shape}")
+    n, c, _, _ = x.shape
+    m, c_per_group, kh, kw = weight.shape
+    group = int(group)
+    if c != c_per_group * group:
+        raise ValueError(
+            f"channel mismatch: input has {c} channels, weight expects "
+            f"{c_per_group * group} (group={group})"
+        )
+    strides = as_pair(strides)
+    dilations = as_pair(dilations)
+    pads = normalize_pads(list(pads))
+
+    def _convolve(batch: np.ndarray) -> np.ndarray:
+        if group == 1:
+            cols, (oh, ow) = im2col(batch, (kh, kw), strides, pads, dilations)
+            w_mat = weight.reshape(m, -1)
+            out = cols @ w_mat.T
+            out = out.reshape(batch.shape[0], oh, ow, m).transpose(0, 3, 1, 2)
+        else:
+            out_groups = []
+            m_per_group = m // group
+            oh = ow = None
+            for g in range(group):
+                xs = batch[:, g * c_per_group:(g + 1) * c_per_group]
+                ws = weight[g * m_per_group:(g + 1) * m_per_group]
+                cols, (oh, ow) = im2col(xs, (kh, kw), strides, pads, dilations)
+                res = cols @ ws.reshape(m_per_group, -1).T
+                out_groups.append(
+                    res.reshape(batch.shape[0], oh, ow, m_per_group).transpose(0, 3, 1, 2)
+                )
+            out = np.concatenate(out_groups, axis=1)
+        return np.ascontiguousarray(out)
+
+    out = parallel_over_batch(_convolve, x)
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1)
+    return out.astype(np.float32, copy=False)
+
+
+def conv_transpose2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    strides: Sequence[int] = (1, 1),
+    pads: Sequence[int] = (0, 0, 0, 0),
+    output_padding: Sequence[int] = (0, 0),
+    group: int = 1,
+) -> np.ndarray:
+    """Transposed convolution (a.k.a. deconvolution), ONNX ``ConvTranspose``.
+
+    Implemented by scattering the input into a zero-dilated buffer and then
+    running a regular convolution with the spatially-flipped kernel.  Only
+    ``group == 1`` is supported, which covers the model zoo's usage.
+    """
+    if int(group) != 1:
+        raise NotImplementedError("conv_transpose2d only supports group=1")
+    x = np.asarray(x, dtype=np.float32)
+    weight = np.asarray(weight, dtype=np.float32)
+    n, c, h, w = x.shape
+    c_in, m, kh, kw = weight.shape
+    if c != c_in:
+        raise ValueError(f"channel mismatch: input {c} vs weight {c_in}")
+    sh, sw = as_pair(strides)
+    pads = normalize_pads(list(pads))
+    oph, opw = as_pair(output_padding)
+
+    # Scatter input with stride-1 zeros between elements.
+    dilated_h = (h - 1) * sh + 1
+    dilated_w = (w - 1) * sw + 1
+    buf = np.zeros((n, c, dilated_h, dilated_w), dtype=np.float32)
+    buf[:, :, ::sh, ::sw] = x
+
+    # Full correlation with flipped kernel == transposed convolution.
+    flipped = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (M, C, KH, KW)
+    full_pads = [kh - 1 - pads[0], kw - 1 - pads[1], kh - 1 - pads[2] + oph, kw - 1 - pads[3] + opw]
+    out = conv2d(buf, flipped, bias=None, strides=(1, 1), pads=full_pads)
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1)
+    return out
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    strides: Sequence[int] = (1, 1),
+    pads: Sequence[int] = (1, 1, 1, 1),
+    dilations: Sequence[int] = (1, 1),
+) -> np.ndarray:
+    """Depthwise convolution: one filter per input channel (group == C)."""
+    channels = x.shape[1]
+    return conv2d(x, weight, bias, strides=strides, pads=pads, dilations=dilations,
+                  group=channels)
+
+
+def conv1d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """1D convolution implemented by reusing :func:`conv2d` on a 1-pixel-high image."""
+    x4 = np.asarray(x, dtype=np.float32)[:, :, None, :]
+    w4 = np.asarray(weight, dtype=np.float32)[:, :, None, :]
+    out = conv2d(x4, w4, bias, strides=(1, stride), pads=(0, pad, 0, pad))
+    return out[:, :, 0, :]

@@ -1,0 +1,155 @@
+"""Binary/unary elementwise arithmetic with numpy broadcasting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise addition."""
+    return np.add(a, b)
+
+
+def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise subtraction."""
+    return np.subtract(a, b)
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise multiplication."""
+    return np.multiply(a, b)
+
+
+def div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise division."""
+    return np.divide(a, b)
+
+
+def pow_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise power."""
+    return np.power(a, b)
+
+
+def mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise modulo."""
+    return np.mod(a, b)
+
+
+def minimum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise minimum."""
+    return np.minimum(a, b)
+
+
+def maximum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise maximum."""
+    return np.maximum(a, b)
+
+
+def sqrt(x: np.ndarray) -> np.ndarray:
+    """Elementwise square root."""
+    return np.sqrt(np.asarray(x, dtype=np.float32))
+
+
+def exp(x: np.ndarray) -> np.ndarray:
+    """Elementwise exponential."""
+    return np.exp(np.asarray(x, dtype=np.float32))
+
+
+def log(x: np.ndarray) -> np.ndarray:
+    """Elementwise natural logarithm."""
+    return np.log(np.asarray(x, dtype=np.float32))
+
+
+def neg(x: np.ndarray) -> np.ndarray:
+    """Elementwise negation."""
+    return np.negative(x)
+
+
+def abs_(x: np.ndarray) -> np.ndarray:
+    """Elementwise absolute value."""
+    return np.abs(x)
+
+
+def reciprocal(x: np.ndarray) -> np.ndarray:
+    """Elementwise reciprocal."""
+    return np.reciprocal(np.asarray(x, dtype=np.float32))
+
+
+def floor(x: np.ndarray) -> np.ndarray:
+    """Elementwise floor."""
+    return np.floor(x)
+
+
+def ceil(x: np.ndarray) -> np.ndarray:
+    """Elementwise ceiling."""
+    return np.ceil(x)
+
+
+def round_(x: np.ndarray) -> np.ndarray:
+    """Elementwise round-half-to-even."""
+    return np.round(x)
+
+
+def sign(x: np.ndarray) -> np.ndarray:
+    """Elementwise sign."""
+    return np.sign(x)
+
+
+def cos(x: np.ndarray) -> np.ndarray:
+    """Elementwise cosine."""
+    return np.cos(x)
+
+
+def sin(x: np.ndarray) -> np.ndarray:
+    """Elementwise sine."""
+    return np.sin(x)
+
+
+def equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise equality comparison."""
+    return np.equal(a, b)
+
+
+def greater(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise greater-than."""
+    return np.greater(a, b)
+
+
+def less(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise less-than."""
+    return np.less(a, b)
+
+
+def greater_or_equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise >=."""
+    return np.greater_equal(a, b)
+
+
+def less_or_equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise <=."""
+    return np.less_equal(a, b)
+
+
+def logical_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise logical and."""
+    return np.logical_and(a, b)
+
+
+def logical_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise logical or."""
+    return np.logical_or(a, b)
+
+
+def logical_not(x: np.ndarray) -> np.ndarray:
+    """Elementwise logical not."""
+    return np.logical_not(x)
+
+
+def logical_xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise logical xor."""
+    return np.logical_xor(a, b)
+
+
+def where(cond: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Select ``a`` where ``cond`` else ``b``."""
+    return np.where(cond, a, b)

@@ -1,0 +1,47 @@
+"""Dense linear-algebra operators (MatMul / Gemm / Linear)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched matrix multiplication with numpy broadcasting semantics."""
+    return np.matmul(np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32))
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    trans_a: bool = False,
+    trans_b: bool = False,
+) -> np.ndarray:
+    """ONNX ``Gemm``: ``alpha * A' @ B' + beta * C`` on 2D operands."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if trans_a:
+        a = a.T
+    if trans_b:
+        b = b.T
+    out = alpha * (a @ b)
+    if c is not None and beta != 0.0:
+        out = out + beta * np.asarray(c, dtype=np.float32)
+    return out.astype(np.float32, copy=False)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense layer ``x @ W + b`` where W has shape (in_features, out_features)."""
+    out = np.matmul(np.asarray(x, dtype=np.float32), np.asarray(weight, dtype=np.float32))
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float32)
+    return out
+
+
+def einsum(equation: str, *operands: np.ndarray) -> np.ndarray:
+    """Thin wrapper over :func:`numpy.einsum` (float32 result)."""
+    return np.einsum(equation, *[np.asarray(o, dtype=np.float32) for o in operands])

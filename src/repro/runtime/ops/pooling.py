@@ -1,0 +1,85 @@
+"""Pooling operators (max / average / global), ONNX semantics, NCHW layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.tensor_utils import as_pair, normalize_pads, pad_nchw, sliding_windows
+
+
+def _pool_common(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    strides: Sequence[int],
+    pads: Sequence[int],
+    ceil_mode: bool,
+    pad_value: float,
+) -> np.ndarray:
+    """Pad (with optional ceil-mode extension) and return sliding windows."""
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 4:
+        raise ValueError(f"pooling expects a 4D NCHW tensor, got shape {x.shape}")
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(strides)
+    top, left, bottom, right = normalize_pads(list(pads))
+    if ceil_mode:
+        # Extend the bottom/right padding so the last partial window is kept.
+        h = x.shape[2] + top + bottom
+        w = x.shape[3] + left + right
+        rem_h = (h - kh) % sh
+        rem_w = (w - kw) % sw
+        if rem_h:
+            bottom += sh - rem_h
+        if rem_w:
+            right += sw - rem_w
+    x_p = pad_nchw(x, (top, left, bottom, right), value=pad_value)
+    return sliding_windows(x_p, (kh, kw), (sh, sw))
+
+
+def max_pool2d(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    strides: Sequence[int] = (1, 1),
+    pads: Sequence[int] = (0, 0, 0, 0),
+    ceil_mode: bool = False,
+) -> np.ndarray:
+    """2D max pooling (padding contributes ``-inf`` so it never wins)."""
+    windows = _pool_common(x, kernel, strides, pads, ceil_mode, pad_value=-np.inf)
+    return np.ascontiguousarray(windows.max(axis=(4, 5)).astype(np.float32))
+
+
+def avg_pool2d(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    strides: Sequence[int] = (1, 1),
+    pads: Sequence[int] = (0, 0, 0, 0),
+    ceil_mode: bool = False,
+    count_include_pad: bool = True,
+) -> np.ndarray:
+    """2D average pooling.
+
+    With ``count_include_pad=False`` the divisor counts only the non-padded
+    elements of each window, matching ONNX defaults for exported models.
+    """
+    windows = _pool_common(x, kernel, strides, pads, ceil_mode, pad_value=0.0)
+    if count_include_pad:
+        return np.ascontiguousarray(windows.mean(axis=(4, 5)).astype(np.float32))
+    ones = np.ones_like(np.asarray(x, dtype=np.float32))
+    counts = _pool_common(ones, kernel, strides, pads, ceil_mode, pad_value=0.0).sum(axis=(4, 5))
+    sums = windows.sum(axis=(4, 5))
+    counts = np.maximum(counts, 1.0)
+    return np.ascontiguousarray((sums / counts).astype(np.float32))
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to a 1x1 spatial map."""
+    x = np.asarray(x, dtype=np.float32)
+    return x.mean(axis=(2, 3), keepdims=True).astype(np.float32)
+
+
+def global_max_pool2d(x: np.ndarray) -> np.ndarray:
+    """Global max pooling to a 1x1 spatial map."""
+    x = np.asarray(x, dtype=np.float32)
+    return x.max(axis=(2, 3), keepdims=True).astype(np.float32)

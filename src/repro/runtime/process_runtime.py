@@ -1,0 +1,185 @@
+"""Execution drivers for Ramiel-generated parallel modules.
+
+The paper runs each cluster as a separate Python *process* (to sidestep the
+GIL) communicating through bi-directional queues.  This module provides that
+driver plus a thread-based variant (useful because the numpy runtime
+releases the GIL inside BLAS, and because threads make the functional
+equivalence tests fast and robust) and a single-threaded reference driver.
+
+All drivers take the generated module (or anything exposing
+``CLUSTER_FUNCTIONS``, ``CHANNEL_NAMES`` and ``GRAPH_OUTPUTS``), a graph
+input feed and the model weights, and return the merged graph outputs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.channels import make_process_channels, make_thread_channels
+
+
+class ParallelExecutionError(RuntimeError):
+    """Raised when a cluster worker fails or the run times out."""
+
+
+# ---------------------------------------------------------------------------
+# Thread backend
+# ---------------------------------------------------------------------------
+def _run_threaded(module, inputs, weights, timeout: float) -> Dict[str, np.ndarray]:
+    channels = make_thread_channels(module.CHANNEL_NAMES)
+    results: Dict[int, Dict[str, np.ndarray]] = {}
+    errors: List[Tuple[int, BaseException]] = []
+
+    def worker(index: int, fn) -> None:
+        try:
+            results[index] = fn(inputs, weights, channels)
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            errors.append((index, exc))
+
+    threads = [threading.Thread(target=worker, args=(i, fn), daemon=True,
+                                name=f"cluster-{i}")
+               for i, fn in enumerate(module.CLUSTER_FUNCTIONS)]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + timeout
+    for t in threads:
+        t.join(max(deadline - time.monotonic(), 0.0))
+    if errors:
+        index, exc = errors[0]
+        raise ParallelExecutionError(f"cluster {index} failed: {exc!r}") from exc
+    if any(t.is_alive() for t in threads):
+        raise ParallelExecutionError(
+            f"parallel execution of {module.MODEL_NAME!r} timed out after {timeout}s "
+            "(possible deadlock)"
+        )
+    merged: Dict[str, np.ndarray] = {}
+    for cluster_outputs in results.values():
+        merged.update(cluster_outputs)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+def _process_worker(fn, inputs, weights, channels, result_queue, index) -> None:
+    try:
+        outputs = fn(inputs, weights, channels)
+        result_queue.put((index, outputs, None))
+    except BaseException as exc:  # noqa: BLE001 - serialize the failure
+        result_queue.put((index, {}, repr(exc)))
+
+
+def _run_processes(module, inputs, weights, timeout: float) -> Dict[str, np.ndarray]:
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    channels = make_process_channels(module.CHANNEL_NAMES, ctx=ctx)
+    result_queue = ctx.Queue()
+
+    processes = [
+        ctx.Process(target=_process_worker,
+                    args=(fn, inputs, weights, channels, result_queue, i),
+                    daemon=True, name=f"cluster-{i}")
+        for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
+    ]
+    for p in processes:
+        p.start()
+
+    merged: Dict[str, np.ndarray] = {}
+    failures: List[str] = []
+    deadline = time.monotonic() + timeout
+    pending = len(processes)
+    while pending > 0:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            for p in processes:
+                p.terminate()
+            raise ParallelExecutionError(
+                f"parallel execution of {module.MODEL_NAME!r} timed out after {timeout}s"
+            )
+        try:
+            index, outputs, error = result_queue.get(timeout=min(remaining, 0.5))
+        except Exception:  # noqa: BLE001 - queue.Empty; keep polling until deadline
+            continue
+        pending -= 1
+        if error is not None:
+            failures.append(f"cluster {index}: {error}")
+        else:
+            merged.update(outputs)
+    for p in processes:
+        p.join(timeout=1.0)
+        if p.is_alive():  # pragma: no cover - stragglers after results arrived
+            p.terminate()
+    if failures:
+        raise ParallelExecutionError("; ".join(failures))
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+def execute_generated_module(
+    module,
+    inputs: Mapping[str, np.ndarray],
+    weights: Mapping[str, np.ndarray],
+    backend: str = "thread",
+    timeout: float = 300.0,
+) -> Dict[str, np.ndarray]:
+    """Execute a generated parallel module and return its graph outputs.
+
+    Parameters
+    ----------
+    module:
+        The generated module (or :class:`repro.codegen.module_writer.GeneratedModule`).
+    inputs / weights:
+        Graph-input feed and initializer values (``model.graph.initializers``).
+    backend:
+        ``"process"`` — one Python process per cluster (the paper's runtime);
+        ``"thread"`` — one thread per cluster (numpy releases the GIL in BLAS).
+    timeout:
+        Watchdog in seconds; a deadlock (which a correct clustering cannot
+        produce) surfaces as :class:`ParallelExecutionError` instead of a hang.
+    """
+    module = getattr(module, "module", module)
+    if backend == "thread":
+        outputs = _run_threaded(module, dict(inputs), dict(weights), timeout)
+    elif backend == "process":
+        outputs = _run_processes(module, dict(inputs), dict(weights), timeout)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
+    missing = [name for name in module.GRAPH_OUTPUTS if name not in outputs]
+    if missing:
+        raise ParallelExecutionError(
+            f"parallel run of {module.MODEL_NAME!r} did not produce outputs: {missing}"
+        )
+    return {name: outputs[name] for name in module.GRAPH_OUTPUTS}
+
+
+def run_sequential_module(
+    module,
+    inputs: Mapping[str, np.ndarray],
+    weights: Mapping[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Execute a generated sequential module (single function call)."""
+    module = getattr(module, "module", module)
+    return module.run(dict(inputs), dict(weights))
+
+
+def time_callable(fn, repeats: int = 3, warmup: int = 1) -> Tuple[float, object]:
+    """Median wall-clock time of ``fn()`` over ``repeats`` runs (plus last result)."""
+    result = None
+    for _ in range(max(warmup, 0)):
+        result = fn()
+    samples = []
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2], result

@@ -1,0 +1,127 @@
+"""Per-node profiling and the slack database.
+
+The paper's Ramiel keeps "a profile database [that] holds information about
+the execution trace and the slacks during communication which can be used
+offline" to guide hyperclustering.  :func:`profile_model` runs a model a few
+times with the reference executor, records per-node wall-clock times, and
+aggregates them into a :class:`GraphProfile`.  The measured times can be fed
+into the schedule simulator (``repro.clustering.schedule``) as a
+measurement-based cost provider — the dynamic counterpart of the static cost
+model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.ir.model import Model
+from repro.ir.node import OpNode
+from repro.runtime.executor import GraphExecutor
+
+
+@dataclasses.dataclass
+class OpProfile:
+    """Timing samples for one operator node."""
+
+    node_name: str
+    op_type: str
+    samples_s: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean execution time in seconds."""
+        return statistics.fmean(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def median_s(self) -> float:
+        """Median execution time in seconds."""
+        return statistics.median(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total time across samples."""
+        return float(sum(self.samples_s))
+
+
+@dataclasses.dataclass
+class GraphProfile:
+    """Aggregated execution profile of one model."""
+
+    model_name: str
+    num_runs: int
+    ops: Dict[str, OpProfile]
+    wall_time_s: float
+
+    def cost_provider(self, scale: float = 1e6) -> Dict[str, float]:
+        """Node-name -> measured cost mapping for the schedule simulator.
+
+        ``scale`` converts seconds into convenient integer-ish units
+        (microseconds by default) so measured costs are comparable in
+        magnitude to the static weights.
+        """
+        return {name: op.median_s * scale for name, op in self.ops.items()}
+
+    def total_compute_s(self) -> float:
+        """Sum of mean per-node times (one inference worth of work)."""
+        return float(sum(op.mean_s for op in self.ops.values()))
+
+    def slowest(self, k: int = 10) -> List[OpProfile]:
+        """The k slowest nodes by mean time."""
+        return sorted(self.ops.values(), key=lambda op: op.mean_s, reverse=True)[:k]
+
+    def by_op_type(self) -> Dict[str, float]:
+        """Mean time aggregated per op type (seconds)."""
+        agg: Dict[str, float] = {}
+        for op in self.ops.values():
+            agg[op.op_type] = agg.get(op.op_type, 0.0) + op.mean_s
+        return dict(sorted(agg.items(), key=lambda kv: kv[1], reverse=True))
+
+
+def profile_model(
+    model: Model,
+    inputs: Mapping[str, np.ndarray],
+    num_runs: int = 3,
+    warmup: int = 1,
+) -> GraphProfile:
+    """Measure per-node execution times of a model on given inputs.
+
+    Parameters
+    ----------
+    model:
+        IR model to profile.
+    inputs:
+        Graph-input feed dictionary.
+    num_runs:
+        Number of measured runs (medians are robust to the first-touch
+        allocation noise that the warmup does not absorb).
+    warmup:
+        Unmeasured warmup runs.
+    """
+    executor = GraphExecutor(model)
+    ops: Dict[str, OpProfile] = {}
+
+    def hook(node: OpNode, seconds: float) -> None:
+        prof = ops.get(node.name)
+        if prof is None:
+            prof = ops[node.name] = OpProfile(node.name, node.op_type)
+        prof.samples_s.append(seconds)
+
+    for _ in range(max(warmup, 0)):
+        executor.run(inputs)
+
+    start = time.perf_counter()
+    for _ in range(max(num_runs, 1)):
+        executor.run(inputs, trace_hook=hook)
+    wall = time.perf_counter() - start
+
+    return GraphProfile(
+        model_name=model.name,
+        num_runs=max(num_runs, 1),
+        ops=ops,
+        wall_time_s=wall,
+    )

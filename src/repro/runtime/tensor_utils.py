@@ -1,0 +1,99 @@
+"""Low-level numpy helpers shared by the operator implementations.
+
+Following the HPC-Python guidance used for this project, the hot paths
+(convolution, pooling) avoid Python-level loops over pixels: convolution is
+lowered to an im2col transform followed by a single GEMM, and pooling uses
+a strided sliding-window view so the reduction happens inside numpy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def pad_nchw(x: np.ndarray, pads: Sequence[int], value: float = 0.0) -> np.ndarray:
+    """Pad an NCHW tensor with an ONNX-style ``[top, left, bottom, right]`` spec."""
+    top, left, bottom, right = (int(p) for p in pads)
+    if top == left == bottom == right == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (top, bottom), (left, right)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def sliding_windows(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    strides: Tuple[int, int],
+    dilations: Tuple[int, int] = (1, 1),
+) -> np.ndarray:
+    """Return a strided view of shape (N, C, OH, OW, KH, KW) over an NCHW tensor.
+
+    The view shares storage with ``x`` (no copy); callers must not write to
+    it.  ``x`` must already be padded.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = strides
+    dh, dw = dilations
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    oh = (h - eff_kh) // sh + 1
+    ow = (w - eff_kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kernel} with strides {strides} does not fit input of spatial size {(h, w)}"
+        )
+    sn, sc, sh_b, sw_b = x.strides
+    shape = (n, c, oh, ow, kh, kw)
+    strides_b = (sn, sc, sh_b * sh, sw_b * sw, sh_b * dh, sw_b * dw)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides_b, writeable=False)
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    strides: Tuple[int, int],
+    pads: Sequence[int],
+    dilations: Tuple[int, int] = (1, 1),
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower an NCHW tensor to the im2col matrix used for GEMM convolution.
+
+    Returns ``(cols, (oh, ow))`` where ``cols`` has shape
+    ``(N * OH * OW, C * KH * KW)``.
+    """
+    x_p = pad_nchw(x, pads)
+    windows = sliding_windows(x_p, kernel, strides, dilations)
+    n, c, oh, ow, kh, kw = windows.shape
+    # (N, OH, OW, C, KH, KW) -> rows are output positions, columns the patch.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def normalize_pads(pads: Sequence[int]) -> List[int]:
+    """Normalize a 2- or 4-element pad spec to ``[top, left, bottom, right]``."""
+    pads = [int(p) for p in pads]
+    if len(pads) == 2:
+        return [pads[0], pads[1], pads[0], pads[1]]
+    if len(pads) == 4:
+        return pads
+    raise ValueError(f"expected 2 or 4 pad values, got {pads}")
+
+
+def as_pair(value) -> Tuple[int, int]:
+    """Coerce an int or length-2 sequence into an ``(int, int)`` pair."""
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def onnx_axis(axis: int, rank: int) -> int:
+    """Normalize a possibly negative axis index."""
+    if rank == 0:
+        return 0
+    return axis % rank

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.dataflow import DataflowGraph
+from repro.ir import GraphBuilder
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+def build_diamond_model(name: str = "diamond"):
+    """A small fork/join CNN: conv -> (branch1 || branch2) -> concat -> head."""
+    b = GraphBuilder(name, seed=0)
+    x = b.input("x", (1, 3, 16, 16))
+    stem = b.conv_relu(x, 8, kernel=3, pads=1)
+    left = b.conv_relu(stem, 4, kernel=1)
+    right = b.conv_relu(stem, 4, kernel=3, pads=1)
+    merged = b.concat([left, right], axis=1)
+    pooled = b.global_avgpool(merged)
+    flat = b.flatten(pooled)
+    logits = b.gemm(flat, 10)
+    probs = b.softmax(logits, axis=-1)
+    b.output(probs)
+    return b.build()
+
+
+def build_chain_model(length: int = 5, name: str = "chain"):
+    """A purely sequential conv chain (no parallelism)."""
+    b = GraphBuilder(name, seed=0)
+    x = b.input("x", (1, 3, 8, 8))
+    y = x
+    for _ in range(length):
+        y = b.conv_relu(y, 4, kernel=3, pads=1)
+    b.output(y)
+    return b.build()
+
+
+def build_wide_model(branches: int = 4, name: str = "wide"):
+    """One stem feeding several independent branches joined by a concat."""
+    b = GraphBuilder(name, seed=0)
+    x = b.input("x", (1, 3, 8, 8))
+    stem = b.conv_relu(x, 8, kernel=3, pads=1)
+    outs = [b.conv_relu(stem, 4, kernel=3, pads=1) for _ in range(branches)]
+    merged = b.concat(outs, axis=1)
+    b.output(merged)
+    return b.build()
+
+
+@pytest.fixture()
+def diamond_model():
+    """Fork/join model fixture."""
+    return build_diamond_model()
+
+
+@pytest.fixture()
+def chain_model():
+    """Sequential chain model fixture."""
+    return build_chain_model()
+
+
+@pytest.fixture()
+def wide_model():
+    """Wide fork/join model fixture."""
+    return build_wide_model()
+
+
+@pytest.fixture()
+def diamond_dfg(diamond_model) -> DataflowGraph:
+    """Dataflow graph of the diamond model."""
+    from repro.graph import model_to_dataflow
+
+    return model_to_dataflow(diamond_model)
+
+
+def make_dataflow(edges, costs=None, name="toy") -> DataflowGraph:
+    """Build a DataflowGraph directly from an edge list (helper for unit tests)."""
+    dfg = DataflowGraph(name)
+    nodes = []
+    for src, dst in edges:
+        for n in (src, dst):
+            if n not in nodes:
+                nodes.append(n)
+    costs = costs or {}
+    for n in nodes:
+        dfg.add_node(n, "Generic", cost=float(costs.get(n, 1.0)))
+    for src, dst in edges:
+        dfg.add_edge(src, dst)
+    return dfg

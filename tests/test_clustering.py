@@ -1,0 +1,365 @@
+"""Tests for linear clustering, merging, cloning, hyperclustering and scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering import (
+    ScheduleSimulator,
+    SimulationConfig,
+    build_hyperclusters,
+    build_switched_hyperclusters,
+    clone_cheap_producers,
+    linear_clustering,
+    merge_clusters_fixpoint,
+    merge_clusters_once,
+    replicate_for_batch,
+)
+from repro.clustering.cluster import Cluster, Clustering
+from repro.clustering.schedule import intra_op_node_scale
+from repro.clustering.validation import (
+    ClusteringError,
+    check_acyclic_clusters,
+    check_linear,
+    check_partition,
+    validate_clustering,
+)
+from repro.graph import compute_distance_to_end, critical_path, model_to_dataflow
+from repro.baselines import list_schedule, sequential_clustering
+
+from tests.conftest import make_dataflow
+
+
+class TestLinearClustering:
+    def test_first_cluster_is_critical_path(self):
+        dfg = make_dataflow(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            costs={"a": 1, "b": 10, "c": 1, "d": 1},
+        )
+        clustering = linear_clustering(dfg)
+        assert clustering.clusters[0].nodes == critical_path(dfg) == ["a", "b", "d"]
+        assert clustering.clusters[1].nodes == ["c"]
+
+    def test_partition_and_linearity(self, diamond_dfg):
+        clustering = linear_clustering(diamond_dfg)
+        check_partition(clustering)
+        check_linear(clustering)
+        check_acyclic_clusters(clustering)
+
+    def test_chain_is_single_cluster(self, chain_model):
+        dfg = model_to_dataflow(chain_model)
+        clustering = linear_clustering(dfg)
+        assert clustering.num_clusters == 1
+        assert len(clustering.clusters[0]) == len(dfg)
+
+    def test_wide_graph_one_cluster_per_branch(self, wide_model):
+        dfg = model_to_dataflow(wide_model)
+        clustering = linear_clustering(dfg)
+        # stem+one branch+concat form the first cluster, remaining branches
+        # one cluster each (each branch is conv+relu).
+        assert clustering.num_clusters == 4
+
+    def test_deterministic(self, diamond_dfg):
+        c1 = linear_clustering(diamond_dfg)
+        c2 = linear_clustering(diamond_dfg)
+        assert [c.nodes for c in c1.clusters] == [c.nodes for c in c2.clusters]
+
+    def test_empty_graph(self):
+        from repro.graph.dataflow import DataflowGraph
+
+        clustering = linear_clustering(DataflowGraph("empty"))
+        assert clustering.num_clusters == 0
+
+
+class TestClusterDataStructures:
+    def test_cluster_spans(self):
+        dfg = make_dataflow([("a", "b"), ("b", "c")], costs={"a": 1, "b": 1, "c": 1})
+        dist = compute_distance_to_end(dfg)
+        cluster = Cluster(0, ["a", "b", "c"])
+        assert cluster.entry_node == "a" and cluster.exit_node == "c"
+        assert cluster.start_span(dist) > cluster.end_span(dist)
+        assert cluster.cost(dfg) == 3.0
+
+    def test_empty_cluster_entry_raises(self):
+        with pytest.raises(ValueError):
+            Cluster(0, []).entry_node
+
+    def test_clustering_queries(self, diamond_dfg):
+        clustering = linear_clustering(diamond_dfg)
+        some_node = diamond_dfg.node_names()[0]
+        cid = clustering.owner_of(some_node)
+        assert some_node in clustering.cluster_by_id(cid).nodes
+        assert clustering.cluster_of(some_node).cluster_id == cid
+        assert sum(clustering.sizes()) == len(diamond_dfg)
+        assert clustering.summary()["num_clusters"] == clustering.num_clusters
+
+    def test_cross_cluster_edges_match_ownership(self, diamond_dfg):
+        clustering = linear_clustering(diamond_dfg)
+        owner = clustering.assignment()
+        for edge in clustering.cross_cluster_edges():
+            assert owner[edge.src] != owner[edge.dst]
+
+
+class TestMerging:
+    def test_merging_reduces_clusters(self, diamond_dfg):
+        lc = linear_clustering(diamond_dfg)
+        merged = merge_clusters_fixpoint(lc)
+        assert merged.num_clusters <= lc.num_clusters
+        check_partition(merged)
+        check_acyclic_clusters(merged)
+
+    def test_merge_only_span_disjoint(self):
+        # Two parallel long paths with overlapping spans must NOT merge.
+        dfg = make_dataflow(
+            [("a", "b"), ("b", "c"), ("x", "y"), ("y", "z")],
+            costs={n: 5 for n in "abcxyz"},
+        )
+        lc = linear_clustering(dfg)
+        merged = merge_clusters_fixpoint(lc)
+        assert merged.num_clusters == 2
+
+    def test_merge_sequential_side_chains(self):
+        # A long main path with two tiny side nodes at different depths: the
+        # side nodes' spans are disjoint so they end up in one merged cluster.
+        edges = [(f"m{i}", f"m{i+1}") for i in range(6)]
+        edges += [("m0", "s_early"), ("s_early", "m2"), ("m3", "s_late"), ("s_late", "m5")]
+        costs = {f"m{i}": 4 for i in range(7)}
+        costs.update({"s_early": 1, "s_late": 1})
+        dfg = make_dataflow(edges, costs=costs)
+        lc = linear_clustering(dfg)
+        merged = merge_clusters_fixpoint(lc)
+        assert lc.num_clusters == 3
+        assert merged.num_clusters == 2
+
+    def test_merge_once_flag(self, diamond_dfg):
+        lc = linear_clustering(diamond_dfg)
+        merged, merge_done = merge_clusters_once(lc)
+        assert isinstance(merge_done, bool)
+        assert merged.num_clusters <= lc.num_clusters
+
+    def test_renumbered_ids_contiguous(self, diamond_dfg):
+        merged = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        assert [c.cluster_id for c in merged.clusters] == list(range(merged.num_clusters))
+
+    def test_paper_squeezenet_cluster_counts(self):
+        from repro.models import build_model
+
+        dfg = model_to_dataflow(build_model("squeezenet"))
+        lc = linear_clustering(dfg)
+        merged = merge_clusters_fixpoint(lc)
+        assert lc.num_clusters == 9       # paper Table II: 9 before merging
+        assert merged.num_clusters == 2   # paper Table II: 2 after merging
+
+
+class TestValidationInvariants:
+    def test_partition_detects_duplicates(self, diamond_dfg):
+        clustering = linear_clustering(diamond_dfg)
+        bad = Clustering(diamond_dfg,
+                         clustering.clusters + [Cluster(99, [diamond_dfg.node_names()[0]])],
+                         clustering.distance_to_end)
+        with pytest.raises(ClusteringError, match="appears in clusters"):
+            check_partition(bad)
+
+    def test_partition_detects_missing(self, diamond_dfg):
+        clustering = linear_clustering(diamond_dfg)
+        bad = Clustering(diamond_dfg, clustering.clusters[:-1], clustering.distance_to_end)
+        with pytest.raises(ClusteringError, match="not covered"):
+            check_partition(bad)
+
+    def test_acyclic_check_detects_bad_order(self):
+        dfg = make_dataflow([("a", "b"), ("c", "d"), ("b", "c")])
+        # Program order d before c in one cluster, while c depends on b which
+        # depends on a in the other cluster, and d depends on c -> cycle.
+        bad = Clustering(dfg, [Cluster(0, ["a", "b"]), Cluster(1, ["d", "c"])],
+                         compute_distance_to_end(dfg))
+        with pytest.raises(ClusteringError, match="cycle"):
+            check_acyclic_clusters(bad)
+
+    def test_linearity_violation_detected(self, diamond_dfg):
+        names = diamond_dfg.node_names()
+        bad = Clustering(diamond_dfg, [Cluster(0, [names[0], names[-1]]),
+                                       Cluster(1, names[1:-1])],
+                         compute_distance_to_end(diamond_dfg))
+        with pytest.raises(ClusteringError, match="not linear"):
+            check_linear(bad)
+
+
+class TestCloning:
+    def test_clones_created_for_fanout_model(self):
+        from repro.models import build_model
+
+        model = build_model("inception_v3", variant="small")
+        cloned, report = clone_cheap_producers(model)
+        assert report.clones_created > 0
+        assert cloned.num_nodes == model.num_nodes + report.clones_created
+        assert report.growth_ratio >= 1.0
+        from repro.ir.validation import validate_graph
+
+        validate_graph(cloned.graph)
+
+    def test_cloning_preserves_semantics(self, rng):
+        import numpy as np
+        from repro.models import build_model
+        from repro.runtime import execute_model
+
+        model = build_model("squeezenet", variant="small")
+        cloned, report = clone_cheap_producers(model)
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        before = execute_model(model, {"input": x})
+        after = execute_model(cloned, {"input": x})
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key], rtol=1e-4, atol=1e-5)
+
+    def test_max_clones_respected(self):
+        from repro.models import build_model
+
+        model = build_model("googlenet", variant="small")
+        _, report = clone_cheap_producers(model, max_clones=3)
+        assert report.clones_created <= 3
+
+    def test_original_model_untouched(self, diamond_model):
+        before = diamond_model.num_nodes
+        clone_cheap_producers(diamond_model)
+        assert diamond_model.num_nodes == before
+
+
+class TestHyperclustering:
+    def test_replication_counts(self, diamond_dfg):
+        batched = replicate_for_batch(diamond_dfg, 3)
+        assert len(batched) == 3 * len(diamond_dfg)
+        assert batched.num_edges() == 3 * diamond_dfg.num_edges()
+
+    def test_invalid_batch(self, diamond_dfg):
+        with pytest.raises(ValueError):
+            replicate_for_batch(diamond_dfg, 0)
+
+    def test_hypercluster_partition_and_acyclicity(self, diamond_dfg):
+        merged = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        for batch in (2, 3):
+            hc = build_hyperclusters(merged, batch)
+            validate_clustering(hc)
+            assert hc.num_clusters == merged.num_clusters
+            shc = build_switched_hyperclusters(merged, batch)
+            validate_clustering(shc)
+            assert shc.num_clusters == merged.num_clusters
+
+    def test_hyperclustering_improves_throughput(self):
+        from repro.models import build_model
+
+        dfg = model_to_dataflow(build_model("squeezenet"))
+        merged = merge_clusters_fixpoint(linear_clustering(dfg))
+        sim = ScheduleSimulator()
+        base = sim.simulate(merged).speedup
+        hc4 = sim.simulate(build_hyperclusters(merged, 4)).speedup
+        assert hc4 > base
+
+    def test_switched_balances_load(self):
+        from repro.models import build_model
+
+        dfg = model_to_dataflow(build_model("squeezenet"))
+        merged = merge_clusters_fixpoint(linear_clustering(dfg))
+        sim = ScheduleSimulator()
+        plain = sim.simulate(build_hyperclusters(merged, 2))
+        switched = sim.simulate(build_switched_hyperclusters(merged, 2))
+        assert switched.speedup >= plain.speedup
+
+
+class TestScheduleSimulator:
+    def test_single_cluster_equals_sequential(self, diamond_dfg):
+        clustering = sequential_clustering(diamond_dfg)
+        sim = ScheduleSimulator(SimulationConfig(per_cluster_overhead=0.0,
+                                                 message_latency=0.0))
+        result = sim.simulate(clustering)
+        assert result.makespan == pytest.approx(result.sequential_time)
+        assert result.speedup == pytest.approx(1.0)
+        assert result.num_messages == 0
+
+    def test_makespan_bounded_by_cp_and_sequential(self, diamond_dfg):
+        clustering = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        sim = ScheduleSimulator(SimulationConfig(per_cluster_overhead=0.0,
+                                                 message_latency=0.0))
+        result = sim.simulate(clustering)
+        cp = max(compute_distance_to_end(diamond_dfg).values())
+        assert result.makespan <= result.sequential_time + 1e-9
+        # The simulator charges no intra-cluster edge cost, so compare
+        # against the node-cost-only critical path.
+        cp_nodes_only = max(compute_distance_to_end(diamond_dfg, include_edge_cost=False).values())
+        assert result.makespan >= cp_nodes_only - 1e-9
+
+    def test_message_latency_increases_makespan(self, diamond_dfg):
+        clustering = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        cheap = ScheduleSimulator(SimulationConfig(message_latency=0.0,
+                                                   per_cluster_overhead=0.0)).simulate(clustering)
+        pricey = ScheduleSimulator(SimulationConfig(message_latency=50.0,
+                                                    per_cluster_overhead=0.0)).simulate(clustering)
+        assert pricey.makespan > cheap.makespan
+        assert pricey.message_cost > 0
+
+    def test_core_limit_serializes(self, wide_model):
+        dfg = model_to_dataflow(wide_model)
+        clustering = linear_clustering(dfg)
+        many = ScheduleSimulator(SimulationConfig(num_cores=8, per_cluster_overhead=0.0,
+                                                  message_latency=0.0)).simulate(clustering)
+        one = ScheduleSimulator(SimulationConfig(num_cores=1, per_cluster_overhead=0.0,
+                                                 message_latency=0.0)).simulate(clustering)
+        assert one.makespan >= many.makespan
+        assert one.makespan == pytest.approx(one.sequential_time)
+
+    def test_cost_provider_override(self, diamond_dfg):
+        clustering = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        provider = {name: 1.0 for name in diamond_dfg.node_names()}
+        sim = ScheduleSimulator(SimulationConfig(per_cluster_overhead=0.0,
+                                                 message_latency=0.0))
+        result = sim.simulate(clustering, cost_provider=provider)
+        assert result.sequential_time == pytest.approx(len(diamond_dfg))
+
+    def test_intra_op_scale_monotone(self):
+        assert intra_op_node_scale(1) == pytest.approx(1.0)
+        assert intra_op_node_scale(4) < intra_op_node_scale(2) < 1.0
+        with pytest.raises(ValueError):
+            intra_op_node_scale(0)
+
+    def test_result_row_shape(self, diamond_dfg):
+        clustering = merge_clusters_fixpoint(linear_clustering(diamond_dfg))
+        row = ScheduleSimulator().simulate(clustering).as_row()
+        assert set(row) == {"model", "clusters", "seq_time", "par_time", "speedup"}
+
+
+class TestBaselines:
+    def test_list_schedule_bounds(self, diamond_dfg):
+        result = list_schedule(diamond_dfg, num_cores=4)
+        assert result.makespan <= result.sequential_time
+        assert result.speedup >= 1.0
+        assert set(result.core_of) == set(diamond_dfg.node_names())
+
+    def test_list_schedule_single_core(self, diamond_dfg):
+        result = list_schedule(diamond_dfg, num_cores=1)
+        assert result.makespan == pytest.approx(result.sequential_time)
+
+    def test_list_schedule_invalid_cores(self, diamond_dfg):
+        with pytest.raises(ValueError):
+            list_schedule(diamond_dfg, num_cores=0)
+
+    def test_ios_scheduler_on_diamond(self, diamond_dfg):
+        from repro.baselines import ios_schedule
+
+        result = ios_schedule(diamond_dfg, num_cores=4)
+        assert sum(len(s) for s in result.stages) == len(diamond_dfg)
+        assert result.makespan > 0
+        assert result.compile_time_s >= 0
+        assert set(result.as_row()) == {"model", "stages", "speedup", "compile_time_s"}
+
+    def test_ios_stage_members_are_independent(self, diamond_dfg):
+        from repro.baselines import ios_schedule
+        from repro.graph.traversal import descendants
+
+        result = ios_schedule(diamond_dfg, num_cores=4)
+        for stage in result.stages:
+            for node in stage:
+                assert not (descendants(diamond_dfg, node) & set(stage)), \
+                    "stage contains dependent operators"
+
+    def test_sequential_clustering_covers_graph(self, diamond_dfg):
+        clustering = sequential_clustering(diamond_dfg)
+        assert clustering.num_clusters == 1
+        check_partition(clustering)

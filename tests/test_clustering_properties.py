@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the clustering core.
+
+Random DAGs are generated and the paper's algorithms are checked against
+their structural invariants:
+
+* the distance pass is consistent with the critical-path length,
+* linear clustering is a partition into dependence-connected paths,
+* cluster merging preserves the partition, never increases the cluster
+  count, and never introduces ordering cycles,
+* the schedule simulator's makespan is bounded below by the (node-cost)
+  critical path and above by the sequential time plus overheads,
+* hyperclustering preserves the per-sample structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines import sequential_clustering
+from repro.clustering import (
+    ScheduleSimulator,
+    SimulationConfig,
+    build_hyperclusters,
+    linear_clustering,
+    merge_clusters_fixpoint,
+    replicate_for_batch,
+)
+from repro.clustering.validation import (
+    check_acyclic_clusters,
+    check_linear,
+    check_partition,
+)
+from repro.graph import compute_distance_to_end, critical_path_length
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.traversal import topological_sort
+
+
+@st.composite
+def random_dags(draw, max_nodes: int = 18) -> DataflowGraph:
+    """Random weighted DAG: edges always point from lower to higher index."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    costs = draw(st.lists(st.floats(min_value=0.0, max_value=20.0,
+                                    allow_nan=False, allow_infinity=False),
+                          min_size=num_nodes, max_size=num_nodes))
+    edge_flags = draw(st.lists(st.booleans(),
+                               min_size=num_nodes * (num_nodes - 1) // 2,
+                               max_size=num_nodes * (num_nodes - 1) // 2))
+    density = draw(st.floats(min_value=0.1, max_value=0.6))
+
+    dfg = DataflowGraph("random")
+    for i in range(num_nodes):
+        dfg.add_node(f"n{i}", "Generic", cost=float(costs[i]))
+    flag_iter = iter(edge_flags)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if next(flag_iter) and (j - i == 1 or (i * 31 + j) % 100 < density * 100):
+                dfg.add_edge(f"n{i}", f"n{j}")
+    return dfg
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_distance_pass_consistency(dfg: DataflowGraph):
+    """distance_to_end of every node is >= its own cost and the max over
+    sources equals the critical-path length."""
+    if len(dfg) == 0:
+        return
+    dist = compute_distance_to_end(dfg)
+    for node in dfg.nodes():
+        assert dist[node.name] >= node.cost - 1e-9
+        for succ in dfg.successors(node.name):
+            assert dist[node.name] >= dist[succ] + node.cost - 1e-9
+    sources = dfg.source_nodes() or dfg.node_names()
+    assert max(dist[s] for s in sources) == critical_path_length(dfg)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_linear_clustering_invariants(dfg: DataflowGraph):
+    """LC output is a partition of the graph into dependence-linear paths."""
+    clustering = linear_clustering(dfg)
+    check_partition(clustering)
+    check_linear(clustering)
+    check_acyclic_clusters(clustering)
+    assert clustering.num_clusters <= max(len(dfg), 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_merging_invariants(dfg: DataflowGraph):
+    """Merging keeps the partition, never grows the cluster count and stays acyclic."""
+    lc = linear_clustering(dfg)
+    merged = merge_clusters_fixpoint(lc)
+    check_partition(merged)
+    check_acyclic_clusters(merged)
+    assert merged.num_clusters <= lc.num_clusters
+    # Fixpoint: running the pass again changes nothing.
+    again = merge_clusters_fixpoint(merged)
+    assert again.num_clusters == merged.num_clusters
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags(), st.integers(min_value=1, max_value=8),
+       st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+def test_schedule_bounds(dfg: DataflowGraph, num_cores: int, latency: float):
+    """Makespan lies between the node-cost critical path and sequential time + overheads."""
+    if len(dfg) == 0:
+        return
+    clustering = merge_clusters_fixpoint(linear_clustering(dfg))
+    config = SimulationConfig(num_cores=num_cores, message_latency=latency,
+                              per_cluster_overhead=0.0)
+    result = ScheduleSimulator(config).simulate(clustering)
+    cp_nodes_only = max(compute_distance_to_end(dfg, include_edge_cost=False).values())
+    assert result.makespan >= cp_nodes_only - 1e-6
+    upper = result.sequential_time + latency * result.num_messages + 1e-6
+    assert result.makespan <= upper
+    assert result.speedup <= num_cores + 1e-6 or result.sequential_time == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags(max_nodes=12), st.integers(min_value=2, max_value=4))
+def test_hypercluster_invariants(dfg: DataflowGraph, batch: int):
+    """Batch replication and hyperclustering preserve structure per sample."""
+    if len(dfg) == 0:
+        return
+    merged = merge_clusters_fixpoint(linear_clustering(dfg))
+    batched = replicate_for_batch(dfg, batch)
+    assert len(batched) == batch * len(dfg)
+    hc = build_hyperclusters(merged, batch)
+    check_partition(hc)
+    check_acyclic_clusters(hc)
+    assert hc.num_clusters == merged.num_clusters
+    # total cost scales with the batch size (floating-point tolerant)
+    total_hc = sum(c.cost(batched) for c in hc.clusters)
+    total_base = sum(c.cost(dfg) for c in merged.clusters)
+    assert abs(total_hc - total_base * batch) <= 1e-6 * max(total_hc, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags())
+def test_sequential_clustering_is_topological(dfg: DataflowGraph):
+    """The sequential baseline lists nodes in a valid topological order."""
+    if len(dfg) == 0:
+        return
+    clustering = sequential_clustering(dfg)
+    order = clustering.clusters[0].nodes
+    position = {n: i for i, n in enumerate(order)}
+    for edge in dfg.edges():
+        assert position[edge.src] < position[edge.dst]
+    assert sorted(order) == sorted(topological_sort(dfg))

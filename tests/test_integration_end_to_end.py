@@ -1,0 +1,78 @@
+"""End-to-end integration tests across the whole pipeline.
+
+For every model in the zoo (reduced "small" variants) we run the complete
+Ramiel flow — prune, cluster, merge, generate parallel code, execute with
+the thread runtime — and check numerical equivalence against the reference
+interpreter on the *original* (unpruned) model.  This is the strongest
+correctness statement in the suite: clustering and code generation must not
+change what the model computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, list_models
+from repro.pipeline import ramiel_compile
+from repro.runtime import execute_model
+
+
+def _make_inputs(model, rng):
+    inputs = {}
+    for info in model.graph.inputs:
+        shape = tuple(1 if d is None else d for d in info.shape)
+        if info.dtype.value.startswith("int"):
+            inputs[info.name] = rng.integers(0, 50, size=shape).astype(np.int64)
+        else:
+            inputs[info.name] = rng.standard_normal(shape).astype(np.float32)
+    return inputs
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_generated_parallel_code_matches_reference(name, rng):
+    model = build_model(name, variant="small")
+    inputs = _make_inputs(model, rng)
+    reference = execute_model(model, inputs)
+
+    result = ramiel_compile(model, prune=True)
+    parallel_out = result.run_parallel(inputs, backend="thread")
+    sequential_out = result.run_sequential(inputs)
+
+    assert set(parallel_out) == set(reference)
+    for key, ref in reference.items():
+        np.testing.assert_allclose(np.asarray(sequential_out[key]), np.asarray(ref),
+                                   rtol=1e-3, atol=1e-4, err_msg=f"{name}:{key} (sequential)")
+        np.testing.assert_allclose(np.asarray(parallel_out[key]), np.asarray(ref),
+                                   rtol=1e-3, atol=1e-4, err_msg=f"{name}:{key} (parallel)")
+
+
+@pytest.mark.parametrize("name", ["squeezenet", "googlenet"])
+def test_process_backend_matches_reference(name, rng):
+    model = build_model(name, variant="small")
+    inputs = _make_inputs(model, rng)
+    reference = execute_model(model, inputs)
+    result = ramiel_compile(model)
+    parallel_out = result.run_parallel(inputs, backend="process")
+    for key, ref in reference.items():
+        np.testing.assert_allclose(np.asarray(parallel_out[key]), np.asarray(ref),
+                                   rtol=1e-3, atol=1e-4)
+
+
+def test_cloned_and_pruned_pipeline_still_correct(rng):
+    model = build_model("inception_v3", variant="small")
+    inputs = _make_inputs(model, rng)
+    reference = execute_model(model, inputs)
+    result = ramiel_compile(model, prune=True, clone=True)
+    parallel_out = result.run_parallel(inputs, backend="thread")
+    for key, ref in reference.items():
+        np.testing.assert_allclose(np.asarray(parallel_out[key]), np.asarray(ref),
+                                   rtol=1e-3, atol=1e-4)
+
+
+def test_compile_times_are_fast():
+    """The paper's headline: Ramiel compiles every model in seconds."""
+    for name in ("squeezenet", "yolo_v5", "bert"):
+        model = build_model(name, variant="small")
+        result = ramiel_compile(model)
+        assert result.compile_time_s < 30.0, f"{name} took {result.compile_time_s:.1f}s"

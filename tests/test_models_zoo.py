@@ -1,0 +1,143 @@
+"""Tests for the model zoo: structure, validity, executability, Table-I bands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_metrics, model_to_dataflow, potential_parallelism
+from repro.ir.validation import validate_model
+from repro.models import (
+    MODEL_REGISTRY,
+    PAPER_TABLE1,
+    build_model,
+    list_models,
+    paper_reference,
+)
+from repro.runtime import execute_model
+
+ALL_MODELS = list_models()
+
+
+class TestRegistry:
+    def test_all_paper_models_registered(self):
+        assert set(ALL_MODELS) == set(PAPER_TABLE1)
+
+    def test_aliases(self):
+        assert build_model("yolo", variant="small").name == "yolo_v5"
+        assert build_model("inception", variant="small").name == "inception_v3"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("resnet9000")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL_REGISTRY["squeezenet"].build(variant="huge")
+
+    def test_paper_reference_tables(self):
+        assert paper_reference("table1")["nasnet"]["parallelism"] == 3.7
+        assert paper_reference("table2")["squeezenet"]["after"] == 2
+        with pytest.raises(KeyError):
+            paper_reference("table99")
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_builds_and_validates(self, name):
+        model = build_model(name, variant="small")
+        validate_model(model)
+        assert model.num_nodes > 10
+
+    def test_small_variant_executes(self, name, rng):
+        model = build_model(name, variant="small")
+        inputs = {}
+        for info in model.graph.inputs:
+            shape = tuple(1 if d is None else d for d in info.shape)
+            if info.dtype.value.startswith("int"):
+                inputs[info.name] = rng.integers(0, 50, size=shape).astype(np.int64)
+            else:
+                inputs[info.name] = rng.standard_normal(shape).astype(np.float32)
+        outputs = execute_model(model, inputs)
+        assert outputs
+        for value in outputs.values():
+            assert np.isfinite(value).all()
+
+    def test_deterministic_build(self, name):
+        a = build_model(name, variant="small")
+        b = build_model(name, variant="small")
+        assert [n.op_type for n in a.graph.nodes] == [n.op_type for n in b.graph.nodes]
+
+
+class TestTable1Bands:
+    """Full-size graphs land in the paper's Table-I bands (shape, not exact values)."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return {name: compute_metrics(build_model(name)) for name in ALL_MODELS}
+
+    def test_node_counts_within_tolerance(self, metrics):
+        for name, met in metrics.items():
+            paper_nodes = PAPER_TABLE1[name]["nodes"]
+            assert 0.5 * paper_nodes <= met.num_nodes <= 1.5 * paper_nodes, (
+                f"{name}: {met.num_nodes} nodes vs paper {paper_nodes}")
+
+    def test_squeezenet_below_one(self, metrics):
+        assert metrics["squeezenet"].parallelism < 1.0
+
+    def test_nasnet_has_highest_parallelism(self, metrics):
+        nasnet = metrics["nasnet"].parallelism
+        assert nasnet > 2.0
+        assert all(nasnet > met.parallelism for name, met in metrics.items()
+                   if name != "nasnet")
+
+    def test_inception_band(self, metrics):
+        for name in ("inception_v3", "inception_v4", "googlenet"):
+            assert 1.1 <= metrics[name].parallelism <= 1.7, name
+
+    def test_ordering_roughly_matches_paper(self, metrics):
+        # Models the paper ranks clearly above Squeezenet must also rank above it here.
+        squeeze = metrics["squeezenet"].parallelism
+        for name in ("googlenet", "inception_v3", "inception_v4", "retinanet", "nasnet"):
+            assert metrics[name].parallelism > squeeze, name
+
+    def test_squeezenet_node_count_exact(self, metrics):
+        assert metrics["squeezenet"].num_nodes == 66
+
+
+class TestModelStructure:
+    def test_squeezenet_fire_modules(self):
+        model = build_model("squeezenet")
+        hist = model.graph.op_type_histogram()
+        assert hist["Conv"] == 26      # stem + 8 fire modules x 3 + classifier
+        assert hist["Concat"] == 8     # one concat per fire module
+
+    def test_bert_has_attention_structure(self):
+        model = build_model("bert", variant="small", num_layers=2)
+        hist = model.graph.op_type_histogram()
+        assert hist["Softmax"] >= 2          # one per layer
+        assert hist["MatMul"] >= 12          # QKV + scores + context + proj per layer
+        assert hist.get("Erf", 0) >= 2       # decomposed GELU
+
+    def test_yolo_has_prunable_grid_chains(self):
+        model = build_model("yolo_v5", variant="small")
+        hist = model.graph.op_type_histogram()
+        assert hist.get("Shape", 0) >= 3     # one grid chain per detect level
+        assert hist.get("Resize", 0) == 2    # FPN upsampling
+
+    def test_nasnet_fan_out(self):
+        model = build_model("nasnet", variant="small")
+        dfg = model_to_dataflow(model)
+        assert max(dfg.out_degree(n) for n in dfg.node_names()) >= 5
+
+    def test_retinanet_two_outputs(self):
+        model = build_model("retinanet", variant="small")
+        assert len(model.graph.outputs) == 2
+
+    def test_channel_scale_changes_width_not_topology(self):
+        a = build_model("googlenet", channel_scale=0.25)
+        b = build_model("googlenet", channel_scale=0.5)
+        assert a.num_nodes == b.num_nodes
+        wa = a.graph.initializers[next(iter(a.graph.initializers))]
+        wb = b.graph.initializers[next(iter(b.graph.initializers))]
+        assert wa.shape != wb.shape or wa.size != wb.size

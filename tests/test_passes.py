@@ -1,0 +1,206 @@
+"""Tests for the graph-pruning passes (constant propagation, DCE, identities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, validate_graph
+from repro.passes import (
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    IdentityEliminationPass,
+    PassManager,
+    eliminate_dead_code,
+    eliminate_identities,
+    fold_constants,
+    optimize_model,
+    propagate_constants,
+)
+from repro.runtime import execute_model
+
+
+def _model_with_constant_chain():
+    """y = relu(x) ; c = (2 + 3) * 4 broadcast-added to y via a foldable chain."""
+    b = GraphBuilder("const_chain", seed=0)
+    x = b.input("x", (1, 4))
+    two = b.const(np.asarray(2.0, dtype=np.float32), prefix="two")
+    three = b.const(np.asarray(3.0, dtype=np.float32), prefix="three")
+    four = b.const(np.asarray(4.0, dtype=np.float32), prefix="four")
+    summed = b.add(two, three)
+    scaled = b.mul(summed, four)           # foldable to 20
+    y = b.relu(x)
+    out = b.add(y, scaled)
+    b.output(out)
+    return b.build()
+
+
+def _model_with_dead_branch():
+    b = GraphBuilder("dead", seed=0)
+    x = b.input("x", (1, 4))
+    live = b.relu(x)
+    dead = b.sigmoid(x)
+    dead = b.mul(dead, dead)  # never reaches an output
+    b.output(live)
+    return b.build()
+
+
+def _model_with_identities():
+    b = GraphBuilder("ident", seed=0)
+    x = b.input("x", (1, 4))
+    y = b.identity(x)
+    y = b.dropout(y, ratio=0.3)
+    y = b.relu(y)
+    b.output(y)
+    return b.build()
+
+
+class TestConstantFolding:
+    def test_folds_constant_chain(self):
+        model = _model_with_constant_chain()
+        graph = model.graph.copy()
+        folded = fold_constants(graph)
+        assert folded >= 2
+        # The folded value must now be available as an initializer.
+        assert any(np.allclose(v, 20.0) for v in graph.initializers.values())
+
+    def test_folding_preserves_semantics(self, rng):
+        model = _model_with_constant_chain()
+        x = rng.standard_normal((1, 4)).astype(np.float32)
+        before = execute_model(model, {"x": x})
+        optimized, _ = optimize_model(model)
+        after = execute_model(optimized, {"x": x})
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key], rtol=1e-5)
+
+    def test_does_not_fold_graph_outputs_into_initializers(self):
+        b = GraphBuilder("all_const", seed=0)
+        c1 = b.const(np.asarray([1.0, 2.0], dtype=np.float32))
+        c2 = b.const(np.asarray([3.0, 4.0], dtype=np.float32))
+        out = b.add(c1, c2)
+        b.output(out)
+        model = b.build()
+        graph = model.graph.copy()
+        fold_constants(graph)
+        validate_graph(graph, check_schemas=False)
+        assert out in graph.output_names
+
+    def test_size_cap_prevents_blowup(self):
+        b = GraphBuilder("big_const", seed=0)
+        big = b.const(np.zeros(1000, dtype=np.float32))
+        out = b.add(big, big)
+        b.output(out)
+        model = b.build()
+        graph = model.graph.copy()
+        assert fold_constants(graph, max_folded_elements=10) == 0
+
+
+class TestDeadCodeElimination:
+    def test_removes_dead_branch(self):
+        model = _model_with_dead_branch()
+        graph = model.graph.copy()
+        removed = eliminate_dead_code(graph)
+        assert removed == 2
+        assert all(n.op_type != "Sigmoid" for n in graph.nodes)
+        validate_graph(graph)
+
+    def test_prunes_unused_initializers(self):
+        b = GraphBuilder("unused_w", seed=0)
+        x = b.input("x", (1, 4))
+        _unused = b.initializer("never_used", np.zeros(3, dtype=np.float32))
+        dead = b.linear(x, 4)
+        b.output(b.relu(x))
+        model = b.build()
+        graph = model.graph.copy()
+        eliminate_dead_code(graph, prune_initializers=True)
+        assert "never_used" not in graph.initializers
+        assert all("linear_w" not in k for k in graph.initializers)
+
+    def test_noop_on_fully_live_graph(self, diamond_model):
+        graph = diamond_model.graph.copy()
+        assert eliminate_dead_code(graph) == 0
+
+
+class TestIdentityElimination:
+    def test_removes_identity_and_dropout(self):
+        model = _model_with_identities()
+        graph = model.graph.copy()
+        removed = eliminate_identities(graph)
+        assert removed == 2
+        assert all(n.op_type not in ("Identity", "Dropout") for n in graph.nodes)
+        validate_graph(graph)
+
+    def test_preserves_semantics(self, rng):
+        model = _model_with_identities()
+        x = rng.standard_normal((1, 4)).astype(np.float32)
+        before = execute_model(model, {"x": x})
+        graph = model.graph
+        eliminate_identities(graph)
+        after = execute_model(model, {"x": x})
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])
+
+    def test_keeps_identity_feeding_graph_output(self):
+        b = GraphBuilder("ident_out", seed=0)
+        x = b.input("x", (1, 4))
+        y = b.identity(x)
+        b.output(y)
+        model = b.build()
+        graph = model.graph
+        assert eliminate_identities(graph) == 0
+        assert len(graph.nodes) == 1
+
+
+class TestPassManagerAndRecipe:
+    def test_fixpoint_iterations(self):
+        model = _model_with_constant_chain()
+        manager = PassManager([ConstantFoldingPass(), DeadCodeEliminationPass()])
+        result = manager.run(model.graph.copy())
+        assert result.total_changes > 0
+        assert result.iterations >= 2  # one active round + one quiescent round
+        assert result.elapsed_s >= 0
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(ValueError):
+            PassManager([IdentityEliminationPass()], max_iterations=0)
+
+    def test_optimize_model_reports_stats(self):
+        model = _model_with_constant_chain()
+        optimized, stats = optimize_model(model)
+        assert stats["nodes_before"] == model.num_nodes
+        assert stats["nodes_after"] == optimized.num_nodes
+        assert stats["nodes_removed"] > 0
+        # Original model untouched.
+        assert model.num_nodes == stats["nodes_before"]
+
+    def test_squeezenet_has_no_pruning_opportunity(self):
+        from repro.models import build_model
+
+        model = build_model("squeezenet", variant="small")
+        _, stats = optimize_model(model)
+        assert stats["nodes_removed"] == 0
+
+    def test_yolo_and_bert_prune(self):
+        from repro.models import build_model
+
+        for name in ("yolo_v5", "bert"):
+            model = build_model(name, variant="small")
+            optimized, stats = optimize_model(model)
+            assert stats["nodes_removed"] > 0, name
+            validate_graph(optimized.graph)
+
+    def test_shape_materialization(self):
+        b = GraphBuilder("shape_chain", seed=0)
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.relu(x)
+        shape = b.shape_of(y)
+        idx = b.const(np.asarray([1], dtype=np.int64))
+        chan = b.gather(shape, idx, axis=0)
+        chan_f = b.cast(chan, to="float32")
+        b.output(y)
+        model = b.build()
+        graph = model.graph.copy()
+        changed = propagate_constants(graph)
+        assert changed > 0
+        eliminate_dead_code(graph)
+        assert all(n.op_type not in ("Shape", "Gather", "Cast") for n in graph.nodes)
