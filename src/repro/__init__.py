@@ -11,10 +11,15 @@ with every substrate it depends on:
   hyperclustering and schedule simulation (the paper's core contribution),
 * :mod:`repro.codegen` — readable parallel Python code generation,
 * :mod:`repro.runtime` — a numpy operator runtime plus process/thread
-  executors for the generated code,
+  executors and warm per-cluster worker pools for the generated code,
 * :mod:`repro.baselines` — the IOS dynamic-programming scheduler and other
   comparison points,
-* :mod:`repro.pipeline` — the Ramiel pipeline tying it all together.
+* :mod:`repro.pipeline` — the Ramiel pipeline tying it all together, plus
+  content fingerprints of models/configs for artifact caching,
+* :mod:`repro.serving` — a batched inference-serving engine on top of
+  compiled schedules: compile-once artifact cache, dynamic micro-batching
+  of concurrent requests, and serving metrics (throughput, latency
+  percentiles, batch histogram, cache hit rate).
 
 Quickstart::
 
@@ -47,6 +52,8 @@ __all__ = [
     "compute_metrics",
     "ramiel_compile",
     "RamielPipeline",
+    "InferenceEngine",
+    "EngineConfig",
 ]
 
 
@@ -61,4 +68,8 @@ def __getattr__(name):
         from repro import pipeline as _pipeline
 
         return getattr(_pipeline, name)
+    if name in ("InferenceEngine", "EngineConfig"):
+        from repro import serving as _serving
+
+        return getattr(_serving, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

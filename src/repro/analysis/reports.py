@@ -1,4 +1,4 @@
-"""Plain-text rendering of benchmark result tables."""
+"""Plain-text rendering of benchmark result tables and serving reports."""
 
 from __future__ import annotations
 
@@ -36,3 +36,46 @@ def render_comparison(
             row[f"{key} ({label_paper})"] = paper.get(model, {}).get(key)
         rows.append(row)
     return format_rows(rows)
+
+
+def _round(value, digits: int = 2):
+    return None if value is None else round(value, digits)
+
+
+def render_serving_report(snapshot: Mapping) -> str:
+    """Render a :meth:`repro.serving.ServingMetrics.snapshot` as text.
+
+    Produces three aligned tables: request/throughput/latency summary,
+    cache statistics, and the batch-size histogram.
+    """
+    latency = snapshot.get("latency_ms", {})
+    cache = snapshot.get("cache", {})
+    summary_row = {
+        "submitted": snapshot.get("submitted"),
+        "completed": snapshot.get("completed"),
+        "failed": snapshot.get("failed"),
+        "throughput_rps": _round(snapshot.get("throughput_rps")),
+        "p50_ms": _round(latency.get("p50")),
+        "p95_ms": _round(latency.get("p95")),
+        "p99_ms": _round(latency.get("p99")),
+        "mean_batch": _round(snapshot.get("mean_batch_size")),
+    }
+    cache_row = {
+        "hits": cache.get("hits"),
+        "misses": cache.get("misses"),
+        "hit_rate": _round(cache.get("hit_rate")),
+        "compiles": cache.get("compiles"),
+        "compile_time_s": _round(cache.get("compile_time_s"), 3),
+        "evictions": cache.get("evictions"),
+    }
+    histogram_rows = [{"batch_size": size, "batches": count}
+                      for size, count in snapshot.get("batch_histogram", {}).items()]
+    sections = [
+        "-- serving summary --",
+        format_rows([summary_row]),
+        "-- artifact cache --",
+        format_rows([cache_row]),
+    ]
+    if histogram_rows:
+        sections += ["-- batch-size histogram --", format_rows(histogram_rows)]
+    return "\n".join(sections)

@@ -8,6 +8,8 @@ Usage examples::
     ramiel compile bert --prune --clone
     ramiel compile squeezenet --batch-size 4 --switched
     ramiel run squeezenet --backend process  # compile, execute, report speedup
+    ramiel warmup squeezenet bert            # pre-compile into the serving cache
+    ramiel serve-bench squeezenet googlenet --requests 32 --concurrency 8
 
 The CLI is a thin wrapper over :func:`repro.pipeline.ramiel_compile`; every
 capability is also available programmatically.
@@ -19,8 +21,6 @@ import argparse
 import json
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,6 +56,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--variant", default="small", choices=["default", "small"])
     run_p.add_argument("--backend", default="thread", choices=["thread", "process"])
     run_p.add_argument("--repeats", type=int, default=3)
+
+    warmup_p = sub.add_parser(
+        "warmup", help="pre-compile models into a serving engine's artifact cache")
+    warmup_p.add_argument("models", nargs="+",
+                          help="model names (e.g. squeezenet bert)")
+    warmup_p.add_argument("--variant", default="small", choices=["default", "small"])
+    warmup_p.add_argument("--backend", default="thread", choices=["thread", "process"])
+    warmup_p.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="drive concurrent load through the serving engine and report metrics")
+    serve_p.add_argument("models", nargs="+",
+                         help="model names to serve (e.g. squeezenet googlenet)")
+    serve_p.add_argument("--variant", default="small", choices=["default", "small"])
+    serve_p.add_argument("--requests", type=int, default=32,
+                         help="requests per model (default 32)")
+    serve_p.add_argument("--concurrency", type=int, default=8,
+                         help="concurrent caller threads (default 8)")
+    serve_p.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batcher max batch size (default 8)")
+    serve_p.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="micro-batcher max wait in ms (default 5)")
+    serve_p.add_argument("--backend", default="thread", choices=["thread", "process"])
+    serve_p.add_argument("--compare-naive", type=int, default=0, metavar="N",
+                         help="also measure N naive compile-per-request calls per model")
+    serve_p.add_argument("--json", action="store_true", help="print a JSON summary")
     return parser
 
 
@@ -117,19 +144,80 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis.speedup import measured_speedup
+    from repro.serving import example_inputs
 
     model = _load_model(args.model, args.variant)
-    rng = np.random.default_rng(0)
-    inputs = {}
-    for info in model.graph.inputs:
-        shape = tuple(1 if d is None else d for d in (info.shape or (1,)))
-        if info.dtype.value.startswith("int"):
-            inputs[info.name] = rng.integers(0, 100, size=shape).astype(info.dtype.value)
-        else:
-            inputs[info.name] = rng.standard_normal(shape).astype(np.float32)
+    inputs = example_inputs(model)
     stats = measured_speedup(model, inputs, backend=args.backend, repeats=args.repeats)
     for key, value in stats.items():
         print(f"{key:16s} {value:.4f}" if isinstance(value, float) else f"{key:16s} {value}")
+    return 0
+
+
+def _cmd_warmup(args: argparse.Namespace) -> int:
+    from repro.serving import EngineConfig, InferenceEngine
+
+    engine = InferenceEngine(EngineConfig(backend=args.backend))
+    summaries = []
+    try:
+        for name in args.models:
+            model = _load_model(name, args.variant)
+            summaries.append(engine.warmup(model))
+    finally:
+        engine.shutdown()
+    if args.json:
+        print(json.dumps(summaries, indent=2))
+    else:
+        for summary in summaries:
+            for key, value in summary.items():
+                print(f"{key:18s} {value}")
+            print()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.reports import render_serving_report
+    from repro.serving import (
+        EngineConfig,
+        InferenceEngine,
+        drive_load,
+        naive_throughput,
+    )
+
+    engine = InferenceEngine(EngineConfig(
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        backend=args.backend,
+    ))
+    per_model = []
+    try:
+        models = [_load_model(name, args.variant) for name in args.models]
+        for model in models:
+            engine.warmup(model)  # exclude compilation from the measured window
+        engine.metrics.reset()
+        for name, model in zip(args.models, models):
+            load = drive_load(engine, model, num_requests=args.requests,
+                              concurrency=args.concurrency)
+            row = {"model": name, "requests": load["requests"],
+                   "engine_rps": round(load["rps"], 2)}
+            if args.compare_naive > 0:
+                naive = naive_throughput(model, num_requests=args.compare_naive,
+                                         backend=args.backend)
+                row["naive_rps"] = round(naive["rps"], 2)
+                row["speedup"] = round(load["rps"] / naive["rps"], 1)
+            per_model.append(row)
+        snapshot = engine.metrics.snapshot()
+    finally:
+        engine.shutdown()
+
+    if args.json:
+        print(json.dumps({"models": per_model, "metrics": snapshot}, indent=2))
+    else:
+        from repro.analysis.reports import format_rows
+
+        print(format_rows(per_model))
+        print()
+        print(render_serving_report(snapshot))
     return 0
 
 
@@ -144,6 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compile(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "warmup":
+        return _cmd_warmup(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

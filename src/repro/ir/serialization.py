@@ -67,7 +67,13 @@ def graph_from_dict(data: dict) -> Graph:
 
 
 def model_to_dict(model: Model) -> dict:
-    """Convert a :class:`Model` to a JSON-compatible dictionary."""
+    """Convert a :class:`Model` to a JSON-compatible dictionary.
+
+    Keys under the ``ramiel.`` metadata namespace hold derived,
+    process-local values (e.g. the memoized content fingerprint used by the
+    serving cache) and are not persisted: a saved model edited and reloaded
+    must re-derive them rather than trust a stale copy.
+    """
     return {
         "format": "repro-ir",
         "version": 1,
@@ -75,7 +81,8 @@ def model_to_dict(model: Model) -> dict:
         "producer": model.producer,
         "opset_version": model.opset_version,
         "doc": model.doc,
-        "metadata": dict(model.metadata),
+        "metadata": {key: value for key, value in model.metadata.items()
+                     if not key.startswith("ramiel.")},
         "graph": graph_to_dict(model.graph),
     }
 

@@ -13,8 +13,10 @@ tests and benchmarks need.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -128,6 +130,86 @@ class RamielResult:
             "predicted_speedup": round(self.predicted_speedup, 2),
             "compile_time_s": round(self.compile_time_s, 3),
         }
+
+
+# ---------------------------------------------------------------------------
+# Artifact fingerprinting (used by the serving layer's compiled-artifact cache)
+# ---------------------------------------------------------------------------
+#: metadata key under which a computed model fingerprint is memoized.
+_FINGERPRINT_METADATA_KEY = "ramiel.fingerprint"
+
+
+def model_fingerprint(model: Model) -> str:
+    """Stable content hash of a model: graph structure plus a weights digest.
+
+    Two models with identical nodes, attributes, input/output signatures and
+    initializer contents produce the same fingerprint, regardless of object
+    identity.  The result is memoized in ``model.metadata`` because serving
+    computes it on every request; callers that mutate a graph in place after
+    fingerprinting must drop the ``"ramiel.fingerprint"`` metadata key.
+    """
+    cached = model.metadata.get(_FINGERPRINT_METADATA_KEY)
+    if cached:
+        return cached
+
+    digest = hashlib.sha256()
+    digest.update(model.name.encode())
+    digest.update(str(model.opset_version).encode())
+    graph = model.graph
+    for node in graph.nodes:
+        digest.update(json.dumps(node.to_dict(), sort_keys=True, default=str).encode())
+    for info in list(graph.inputs) + list(graph.outputs):
+        digest.update(json.dumps(info.to_dict(), sort_keys=True, default=str).encode())
+    for name in sorted(graph.initializers):
+        array = graph.initializers[name]
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+
+    fingerprint = digest.hexdigest()
+    model.metadata[_FINGERPRINT_METADATA_KEY] = fingerprint
+    return fingerprint
+
+
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Stable hash of the compilation-relevant fields of a :class:`PipelineConfig`.
+
+    ``output_dir`` and ``generate_code`` are deliberately excluded: they
+    change where/whether code is materialized but not what is compiled, so
+    artifacts compiled under different output directories can share a cache
+    entry.  The cost model participates through its ``repr`` — two configs
+    with behaviourally identical but differently-ordered cost tables hash
+    differently, which only costs a spurious cache miss, never a wrong hit.
+    """
+    payload = repr((
+        config.prune,
+        config.clone,
+        config.batch_size,
+        config.switched_hyperclusters,
+        config.num_cores,
+        config.message_latency,
+        config.per_cluster_overhead,
+        config.validate,
+        repr(config.cost_model),
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def artifact_fingerprint(model: Model, config: Optional[PipelineConfig] = None,
+                         input_signature: Optional[Tuple] = None) -> str:
+    """Combined cache key for one compiled artifact.
+
+    The serving layer keys its compiled-artifact cache by
+    ``(model fingerprint, config fingerprint, input signature)``; this helper
+    collapses the triple into a single hex digest for logging and file names.
+    """
+    digest = hashlib.sha256()
+    digest.update(model_fingerprint(model).encode())
+    digest.update(config_fingerprint(config or PipelineConfig()).encode())
+    if input_signature is not None:
+        digest.update(repr(input_signature).encode())
+    return digest.hexdigest()
 
 
 class RamielPipeline:

@@ -18,6 +18,9 @@ and the benchmarks need:
   variant).
 * :mod:`repro.runtime.intra_op` — intra-operator thread parallelism with a
   ``num_threads`` knob mirroring ``OMP_NUM_THREADS`` (Table V).
+* :class:`repro.runtime.worker_pool.WarmExecutorPool` — long-lived
+  per-cluster workers that execute a compiled module repeatedly without
+  per-call thread/process spawn (the serving engine's execution substrate).
 * :mod:`repro.runtime.profiler` — per-node timing and the slack database
   that drives hyperclustering decisions.
 """
@@ -25,11 +28,13 @@ and the benchmarks need:
 from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
 from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
 from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
+from repro.runtime.worker_pool import WarmExecutorPool
 
 __all__ = [
     "GraphExecutor",
     "execute_model",
     "ExecutionError",
+    "WarmExecutorPool",
     "intra_op_threads",
     "get_num_threads",
     "set_num_threads",

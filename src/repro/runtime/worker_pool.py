@@ -1,0 +1,231 @@
+"""Warm, reusable executor pools for Ramiel-generated parallel modules.
+
+:mod:`repro.runtime.process_runtime` spawns one thread or process per
+cluster *per call*, which is the right shape for one-shot experiments but
+wasteful under serving traffic: worker startup (and, for processes, weight
+pickling) is paid on every request.  :class:`WarmExecutorPool` keeps one
+long-lived worker per cluster and feeds it jobs through per-worker queues,
+so repeated executions of the same compiled module only pay for the actual
+operator work plus queue hand-off.
+
+Two backends are supported:
+
+* ``"thread"`` — one persistent thread per cluster.  numpy releases the GIL
+  inside BLAS so clusters still overlap; fresh thread channels are created
+  per run (they are cheap).
+* ``"process"`` — one persistent forked process per cluster (the paper's
+  runtime, minus the per-call fork).  The module, the weights and the
+  channel queues are inherited at fork time and reused across runs; a
+  correct clustering fully drains every channel each run, so reuse is safe.
+  Requires a platform with the ``fork`` start method.
+
+A run that times out or raises leaves workers in an unknown state (they may
+be blocked on a channel ``get`` that will never be satisfied), so the pool
+marks itself *broken* and refuses further work; the owner is expected to
+discard it and build a fresh one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.runtime.channels import make_process_channels, make_thread_channels
+from repro.runtime.process_runtime import ParallelExecutionError
+
+
+def _thread_worker(fn, weights, jobs, done, index) -> None:
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        ticket, inputs, channels = job
+        try:
+            outputs = fn(inputs, weights, channels)
+            done.put((ticket, index, outputs, None))
+        except BaseException as exc:  # noqa: BLE001 - propagate to the caller
+            done.put((ticket, index, {}, repr(exc)))
+
+
+def _process_worker(fn, weights, channels, jobs, done, index) -> None:
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        ticket, inputs = job
+        try:
+            outputs = fn(inputs, weights, channels)
+            done.put((ticket, index, outputs, None))
+        except BaseException as exc:  # noqa: BLE001 - serialize the failure
+            done.put((ticket, index, {}, repr(exc)))
+
+
+class WarmExecutorPool:
+    """Persistent per-cluster workers executing one generated module.
+
+    Parameters
+    ----------
+    module:
+        The generated parallel module (or a
+        :class:`repro.codegen.module_writer.GeneratedModule` wrapper).
+    weights:
+        Initializer values (``model.graph.initializers``); captured once at
+        pool construction and shared by every run.
+    backend:
+        ``"thread"`` (default) or ``"process"`` (requires ``fork``).
+    """
+
+    def __init__(self, module, weights: Mapping[str, np.ndarray],
+                 backend: str = "thread") -> None:
+        module = getattr(module, "module", module)
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
+        self.module = module
+        self.backend = backend
+        self._weights = dict(weights)
+        self._num_clusters = len(module.CLUSTER_FUNCTIONS)
+        self._tickets = itertools.count(1)
+        self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._broken = False
+
+        if backend == "thread":
+            self._job_queues = [queue.Queue() for _ in range(self._num_clusters)]
+            self._done: "queue.Queue" = queue.Queue()
+            self._workers = [
+                threading.Thread(
+                    target=_thread_worker,
+                    args=(fn, self._weights, self._job_queues[i], self._done, i),
+                    daemon=True, name=f"warm-cluster-{i}")
+                for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
+            ]
+            self._channels = None  # fresh thread channels per run
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+                raise ParallelExecutionError(
+                    "the warm process pool requires the 'fork' start method"
+                ) from exc
+            # Channels are created once and inherited at fork; every run
+            # drains them completely, so they can be reused across runs.
+            self._channels = make_process_channels(module.CHANNEL_NAMES, ctx=ctx)
+            self._job_queues = [ctx.Queue() for _ in range(self._num_clusters)]
+            self._done = ctx.Queue()
+            self._workers = [
+                ctx.Process(
+                    target=_process_worker,
+                    args=(fn, self._weights, self._channels,
+                          self._job_queues[i], self._done, i),
+                    daemon=True, name=f"warm-cluster-{i}")
+                for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
+            ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        """Number of persistent workers (one per cluster)."""
+        return self._num_clusters
+
+    @property
+    def broken(self) -> bool:
+        """True once a run failed in a way that may leave workers wedged."""
+        return self._broken
+
+    def run(self, inputs: Mapping[str, np.ndarray],
+            timeout: float = 300.0) -> Dict[str, np.ndarray]:
+        """Execute the module once and return its graph outputs.
+
+        Runs are serialized: the pool owns exactly one set of workers, so a
+        second concurrent ``run`` blocks until the first finishes.
+        """
+        with self._lock:
+            if self._closed:
+                raise ParallelExecutionError("warm executor pool is closed")
+            if self._broken:
+                raise ParallelExecutionError(
+                    "warm executor pool is broken after an earlier failure; "
+                    "discard it and compile a fresh one")
+            ticket = next(self._tickets)
+            feed = dict(inputs)
+            if self.backend == "thread":
+                channels = make_thread_channels(self.module.CHANNEL_NAMES)
+                for jobs in self._job_queues:
+                    jobs.put((ticket, feed, channels))
+            else:
+                for jobs in self._job_queues:
+                    jobs.put((ticket, feed))
+            return self._collect(ticket, timeout)
+
+    def _collect(self, ticket: int, timeout: float) -> Dict[str, np.ndarray]:
+        merged: Dict[str, np.ndarray] = {}
+        failures: List[str] = []
+        pending = self._num_clusters
+        deadline = time.monotonic() + timeout
+        while pending > 0:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._broken = True
+                raise ParallelExecutionError(
+                    f"warm execution of {self.module.MODEL_NAME!r} timed out "
+                    f"after {timeout}s (possible deadlock)")
+            try:
+                got_ticket, index, outputs, error = self._done.get(
+                    timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if got_ticket != ticket:
+                continue  # straggler of an earlier, failed run
+            pending -= 1
+            if error is not None:
+                failures.append(f"cluster {index}: {error}")
+            else:
+                merged.update(outputs)
+        if failures:
+            self._broken = True
+            raise ParallelExecutionError("; ".join(failures))
+        missing = [name for name in self.module.GRAPH_OUTPUTS if name not in merged]
+        if missing:
+            self._broken = True
+            raise ParallelExecutionError(
+                f"warm run of {self.module.MODEL_NAME!r} did not produce "
+                f"outputs: {missing}")
+        return {name: merged[name] for name in self.module.GRAPH_OUTPUTS}
+
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 2.0) -> None:
+        """Stop all workers; idempotent.
+
+        Deliberately does not take the run lock: a close racing an
+        in-flight ``run`` (e.g. LRU eviction on another thread's submit
+        path) must not block for up to the run timeout.  Workers finish
+        their current job before seeing the sentinel.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for jobs in self._job_queues:
+            try:
+                jobs.put(None)
+            except Exception:  # noqa: BLE001 - queue already torn down
+                pass
+        for worker in self._workers:
+            worker.join(timeout=join_timeout)
+            if self.backend == "process" and worker.is_alive():
+                worker.terminate()
+
+    def __enter__(self) -> "WarmExecutorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

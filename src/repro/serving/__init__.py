@@ -1,0 +1,61 @@
+"""repro.serving — batched inference serving on top of Ramiel-compiled schedules.
+
+The rest of the package is one-shot: compile a model, execute it once.
+This subsystem amortizes that work across request traffic:
+
+* :mod:`repro.serving.engine` — :class:`InferenceEngine`, the front door:
+  validate → cache-or-compile → micro-batch → warm-pool execute.
+* :mod:`repro.serving.artifact_cache` — compile-exactly-once LRU cache of
+  compiled artifacts keyed by (model fingerprint, config fingerprint,
+  input signature).
+* :mod:`repro.serving.batching` — the dynamic micro-batcher (max batch
+  size / max wait policy, batch-axis stacking and scattering).
+* :mod:`repro.serving.metrics` — throughput, latency percentiles,
+  batch-size histogram and cache statistics.
+
+See ``examples/serving_demo.py`` and the ``repro serve-bench`` /
+``repro warmup`` CLI verbs.
+"""
+
+from repro.serving.artifact_cache import ArtifactCache, ArtifactKey
+from repro.serving.batching import (
+    BATCH_AXIS,
+    BatcherClosed,
+    BatchPolicy,
+    MicroBatcher,
+    ServingError,
+    scatter_outputs,
+    stack_requests,
+)
+from repro.serving.engine import (
+    CompiledArtifact,
+    EngineConfig,
+    InferenceEngine,
+    ShapeMismatchError,
+    drive_load,
+    example_inputs,
+    naive_throughput,
+    signature_inputs,
+)
+from repro.serving.metrics import ServingMetrics
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactKey",
+    "BATCH_AXIS",
+    "BatchPolicy",
+    "BatcherClosed",
+    "CompiledArtifact",
+    "EngineConfig",
+    "InferenceEngine",
+    "MicroBatcher",
+    "ServingError",
+    "ServingMetrics",
+    "ShapeMismatchError",
+    "drive_load",
+    "example_inputs",
+    "naive_throughput",
+    "scatter_outputs",
+    "signature_inputs",
+    "stack_requests",
+]

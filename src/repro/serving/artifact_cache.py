@@ -1,0 +1,171 @@
+"""LRU cache of compiled serving artifacts, keyed by content fingerprints.
+
+The cache guarantees *compile-exactly-once* semantics: concurrent lookups of
+the same key block on a single in-flight compilation instead of racing to
+compile twice.  Keys are :class:`ArtifactKey` triples — model fingerprint,
+pipeline-config fingerprint and the request input signature — produced by
+the hooks in :mod:`repro.pipeline` and :mod:`repro.serving.engine`.
+
+Eviction is LRU over *completed* entries only (an in-flight compilation is
+never evicted; the cache may transiently exceed capacity while several keys
+compile at once).  Evicted artifacts are handed to the ``on_evict`` callback
+so their warm worker pools and batchers can be shut down.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one compiled artifact."""
+
+    model_fingerprint: str
+    config_fingerprint: str
+    input_signature: Tuple
+
+    def short(self) -> str:
+        """Compact display form for logs and reports."""
+        return f"{self.model_fingerprint[:10]}/{self.config_fingerprint[:8]}"
+
+
+class ArtifactCache:
+    """Thread-safe LRU map of :class:`ArtifactKey` to compiled artifacts."""
+
+    def __init__(self, capacity: int = 8,
+                 on_evict: Optional[Callable[[ArtifactKey, object], None]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._on_evict = on_evict
+        self._lock = threading.Lock()
+        self._entries: "collections.OrderedDict[ArtifactKey, Future]" = \
+            collections.OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_create(self, key: ArtifactKey, factory: Callable[[], object]):
+        """Return ``(artifact, hit)``; compile via ``factory`` on a miss.
+
+        The factory runs outside the cache lock, but at most once per key:
+        concurrent callers of the same key wait on the winner's future.  A
+        failing factory removes its entry so the key can be retried.
+        """
+        evicted: List[Tuple[ArtifactKey, Future]] = []
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                hit = True
+            else:
+                self._misses += 1
+                entry = Future()
+                self._entries[key] = entry
+                hit = False
+                evicted = self._evict_overflow_locked()
+
+        for evicted_key, evicted_future in evicted:
+            self._dispose(evicted_key, evicted_future)
+
+        if hit:
+            return entry.result(), True
+
+        try:
+            artifact = factory()
+        except BaseException as exc:
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+            entry.set_exception(exc)
+            raise
+        entry.set_result(artifact)
+        return artifact, False
+
+    def _evict_overflow_locked(self) -> List[Tuple[ArtifactKey, Future]]:
+        """Pop oldest *completed* entries while over capacity (lock held)."""
+        evicted: List[Tuple[ArtifactKey, Future]] = []
+        while len(self._entries) > self.capacity:
+            victim = next((k for k, fut in self._entries.items() if fut.done()), None)
+            if victim is None:
+                break  # everything in flight; allow transient overflow
+            evicted.append((victim, self._entries.pop(victim)))
+            self._evictions += 1
+        return evicted
+
+    def _dispose(self, key: ArtifactKey, future: Future) -> None:
+        if self._on_evict is None or not future.done() or future.exception():
+            return
+        self._on_evict(key, future.result())
+
+    def _dispose_when_done(self, key: ArtifactKey, future: Future) -> None:
+        """Dispose now if the entry is built, else as soon as its compile ends.
+
+        Covers shutdown/invalidation racing an in-flight compilation: the
+        artifact (warm pool, batcher thread) built after removal from the
+        cache must still be closed, not leaked.
+        """
+        if future.done():
+            self._dispose(key, future)
+        else:
+            future.add_done_callback(lambda f: self._dispose(key, f))
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: ArtifactKey, expected: Optional[object] = None) -> bool:
+        """Drop one entry (e.g. its warm pool broke); returns True if dropped.
+
+        With ``expected`` given, the entry is only dropped if it currently
+        resolves to that exact artifact — so a stale holder of an evicted
+        artifact cannot knock out a freshly recompiled replacement under
+        the same key.
+        """
+        with self._lock:
+            future = self._entries.get(key)
+            if future is None:
+                return False
+            if expected is not None and (not future.done() or future.exception()
+                                         or future.result() is not expected):
+                return False
+            del self._entries[key]
+            self._evictions += 1
+        self._dispose_when_done(key, future)
+        return True
+
+    def clear(self) -> None:
+        """Evict every entry (used by engine shutdown)."""
+        with self._lock:
+            entries = list(self._entries.items())
+            self._entries.clear()
+        for key, future in entries:
+            self._dispose_when_done(key, future)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[ArtifactKey]:
+        """Cached keys, LRU-oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup/eviction counters."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

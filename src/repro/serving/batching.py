@@ -1,0 +1,210 @@
+"""Dynamic micro-batching of concurrent inference requests.
+
+One :class:`MicroBatcher` serves one compiled artifact.  Requests arrive via
+:meth:`MicroBatcher.submit` (returning a ``concurrent.futures.Future``); a
+background collector thread gathers them into batches under a
+:class:`BatchPolicy` — a batch closes when it reaches ``max_batch_size`` or
+when ``max_wait_s`` has elapsed since its first request, whichever comes
+first.  Inputs are stacked along the batch axis (axis 0), executed once, and
+the outputs scattered back to the per-request futures.
+
+Requests reaching the same batcher are guaranteed shape-compatible: the
+engine keys artifacts (and therefore batchers) by input signature, which
+includes every non-batch dimension.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.serving.metrics import ServingMetrics
+
+#: Requests are stacked/scattered along this axis of every input/output.
+BATCH_AXIS = 0
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class BatcherClosed(ServingError):
+    """Raised when submitting to (or pending inside) a closed batcher."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPolicy:
+    """When to close a micro-batch.
+
+    ``max_batch_size`` bounds how many requests are fused into one
+    execution; ``max_wait_s`` bounds how long the first request of a batch
+    may wait for co-travellers (the tail-latency knob).
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclasses.dataclass
+class _Request:
+    inputs: Dict[str, np.ndarray]
+    batch_len: int
+    future: Future
+    submit_t: float
+
+
+def stack_requests(requests: List[_Request]) -> Dict[str, np.ndarray]:
+    """Concatenate the requests' inputs along :data:`BATCH_AXIS`."""
+    if len(requests) == 1:
+        return dict(requests[0].inputs)
+    names = requests[0].inputs.keys()
+    return {name: np.concatenate([r.inputs[name] for r in requests], axis=BATCH_AXIS)
+            for name in names}
+
+
+def scatter_outputs(outputs: Mapping[str, np.ndarray],
+                    requests: List[_Request]) -> List[Dict[str, np.ndarray]]:
+    """Split batched outputs back into per-request dicts.
+
+    An output whose leading dimension equals the total batch length is
+    sliced per request; anything else (e.g. a scalar statistic emitted by
+    the graph) is replicated to every request unchanged.
+    """
+    total = sum(r.batch_len for r in requests)
+    if len(requests) == 1:
+        return [dict(outputs)]
+    per_request: List[Dict[str, np.ndarray]] = [dict() for _ in requests]
+    offsets = np.cumsum([0] + [r.batch_len for r in requests])
+    for name, array in outputs.items():
+        array = np.asarray(array)
+        sliceable = array.ndim >= 1 and array.shape[BATCH_AXIS] == total
+        for i in range(len(requests)):
+            if sliceable:
+                per_request[i][name] = array[offsets[i]:offsets[i + 1]]
+            else:
+                per_request[i][name] = array
+    return per_request
+
+
+class MicroBatcher:
+    """Collects concurrent requests into batches and executes them.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable executing one stacked input feed and returning the graph
+        outputs; typically a warm-pool run of a compiled module.
+    policy:
+        Batch-closing policy.
+    metrics:
+        Optional shared :class:`ServingMetrics`; batch sizes and request
+        completions are recorded there.
+    label:
+        Display name (model name / artifact key) for the collector thread.
+    """
+
+    def __init__(self, run_batch: Callable[[Dict[str, np.ndarray]], Mapping[str, np.ndarray]],
+                 policy: Optional[BatchPolicy] = None,
+                 metrics: Optional[ServingMetrics] = None,
+                 label: str = "batcher") -> None:
+        self.policy = policy or BatchPolicy()
+        self.label = label
+        self._run_batch = run_batch
+        self._metrics = metrics
+        self._pending: "collections.deque[_Request]" = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(target=self._collector, daemon=True,
+                                        name=f"microbatch-{label}")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, inputs: Mapping[str, np.ndarray], batch_len: int) -> Future:
+        """Enqueue one request; the future resolves to its output dict."""
+        request = _Request(inputs=dict(inputs), batch_len=int(batch_len),
+                           future=Future(), submit_t=time.perf_counter())
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed(f"batcher {self.label!r} is closed")
+            self._pending.append(request)
+            self._cond.notify()
+        return request.future
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the collector; pending/unfinished requests fail cleanly."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = list(self._pending)
+            self._pending.clear()
+            self._cond.notify_all()
+        for request in leftovers:
+            self._fail(request, BatcherClosed(
+                f"batcher {self.label!r} closed before the request ran"))
+        # close() may be invoked from the collector itself (a failing batch
+        # invalidating its own artifact); a thread cannot join itself.
+        if threading.current_thread() is not self._thread:
+            self._thread.join(timeout=join_timeout)
+
+    # ------------------------------------------------------------------
+    def _collector(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _collect_batch(self) -> Optional[List[_Request]]:
+        """Block for the first request, then fill until policy closes the batch."""
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch = [self._pending.popleft()]
+            deadline = time.monotonic() + self.policy.max_wait_s
+            while len(batch) < self.policy.max_batch_size:
+                if self._pending:
+                    batch.append(self._pending.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(timeout=remaining)
+            return batch
+
+    def _execute(self, batch: List[_Request]) -> None:
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch))
+        try:
+            stacked = stack_requests(batch)
+            outputs = self._run_batch(stacked)
+            scattered = scatter_outputs(outputs, batch)
+        except BaseException as exc:  # noqa: BLE001 - fail every co-batched request
+            for request in batch:
+                self._fail(request, exc)
+            return
+        for request, result in zip(batch, scattered):
+            latency = time.perf_counter() - request.submit_t
+            if self._metrics is not None:
+                self._metrics.record_completed(latency, ok=True)
+            request.future.set_result(result)
+
+    def _fail(self, request: _Request, exc: BaseException) -> None:
+        if self._metrics is not None:
+            self._metrics.record_completed(
+                time.perf_counter() - request.submit_t, ok=False)
+        request.future.set_exception(exc)

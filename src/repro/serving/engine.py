@@ -1,0 +1,446 @@
+"""The batched inference-serving engine on top of Ramiel-compiled schedules.
+
+:class:`InferenceEngine` turns the one-shot ``ramiel_compile`` + ``execute``
+pipeline into a serving loop:
+
+1. **Compiled-artifact cache** — each (model fingerprint, pipeline config,
+   input signature) triple is compiled exactly once; the generated parallel
+   module plus a warm per-cluster worker pool are reused across requests
+   (:mod:`repro.serving.artifact_cache`, :mod:`repro.runtime.worker_pool`).
+2. **Dynamic micro-batching** — concurrent :meth:`InferenceEngine.submit`
+   calls against the same artifact are fused along the batch axis under a
+   max-batch-size / max-wait policy (:mod:`repro.serving.batching`).
+3. **Metrics** — throughput, latency percentiles, batch-size histogram and
+   cache hit rate (:mod:`repro.serving.metrics`), rendered by
+   :func:`repro.analysis.reports.render_serving_report`.
+
+Example::
+
+    from repro.models import build_model
+    from repro.serving import InferenceEngine, example_inputs
+
+    engine = InferenceEngine()
+    model = build_model("squeezenet", variant="small")
+    outputs = engine.infer(model, example_inputs(model))
+    print(engine.metrics.snapshot())
+    engine.shutdown()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.model import Model
+from repro.pipeline import (
+    PipelineConfig,
+    RamielResult,
+    config_fingerprint,
+    model_fingerprint,
+    ramiel_compile,
+)
+from repro.runtime.process_runtime import execute_generated_module
+from repro.runtime.worker_pool import WarmExecutorPool
+from repro.serving.artifact_cache import ArtifactCache, ArtifactKey
+from repro.serving.batching import (
+    BATCH_AXIS,
+    BatcherClosed,
+    BatchPolicy,
+    MicroBatcher,
+    ServingError,
+)
+from repro.serving.metrics import ServingMetrics
+
+
+class ShapeMismatchError(ServingError):
+    """A request's inputs do not match the model's declared signature."""
+
+
+@dataclasses.dataclass
+class EngineConfig:
+    """Configuration of one :class:`InferenceEngine`."""
+
+    #: batch-closing policy shared by every artifact's micro-batcher
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    #: compiled artifacts kept warm before LRU eviction; size it above the
+    #: concurrently-served working set (model x config x signature triples)
+    cache_capacity: int = 16
+    #: warm-pool backend: "thread" (default) or "process" (fork platforms)
+    backend: str = "thread"
+    #: per-batch execution watchdog
+    timeout_s: float = 300.0
+    #: compilation settings applied to every model served by this engine
+    pipeline: PipelineConfig = dataclasses.field(default_factory=PipelineConfig)
+
+    def batch_policy(self) -> BatchPolicy:
+        """The batching policy derived from this config."""
+        return BatchPolicy(max_batch_size=self.max_batch_size,
+                           max_wait_s=self.max_wait_s)
+
+
+@dataclasses.dataclass
+class CompiledArtifact:
+    """One cached compilation: result, warm pool and batcher."""
+
+    key: ArtifactKey
+    result: RamielResult
+    pool: WarmExecutorPool
+    batcher: MicroBatcher
+    compile_time_s: float
+    #: whether concurrent requests may be fused along the batch axis (some
+    #: generated code bakes the batch size into static reshapes — e.g.
+    #: BERT's attention head splits — and must be served one request at a time)
+    batchable: bool = True
+
+    @property
+    def model_name(self) -> str:
+        """Name of the compiled model."""
+        return self.result.model.name
+
+    def close(self) -> None:
+        """Shut down the batcher and the warm pool."""
+        self.batcher.close()
+        self.pool.close()
+
+
+class InferenceEngine:
+    """Serves Ramiel-compiled models with artifact caching and micro-batching.
+
+    The engine is thread-safe: any number of caller threads may ``submit``
+    concurrently, which is precisely what feeds the micro-batcher.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.metrics = ServingMetrics()
+        self._config_fp = config_fingerprint(self.config.pipeline)
+        self._cache = ArtifactCache(
+            capacity=self.config.cache_capacity,
+            on_evict=self._on_evict)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, model: Model, inputs: Mapping[str, np.ndarray]) -> Future:
+        """Enqueue one inference request; returns a future of its outputs.
+
+        The request is validated against the model's declared input
+        signature (:class:`ShapeMismatchError` on mismatch), routed to the
+        compiled artifact for its signature (compiling it on first sight),
+        and micro-batched with concurrent compatible requests.
+        """
+        if self._closed:
+            raise ServingError("engine is shut down")
+        arrays, batch_len, signature = self._validate(model, inputs)
+        self.metrics.record_submitted()
+        future, _ = self._route(model, signature, arrays, batch_len)
+        return future
+
+    def _route(self, model: Model, signature: Tuple,
+               arrays: Dict[str, np.ndarray], batch_len: int):
+        """Resolve the artifact and enqueue; retries if it dies under us.
+
+        Between the cache lookup and the enqueue the artifact can be closed
+        by LRU eviction or broken-pool invalidation on another thread; the
+        stale entry is dropped and the request transparently recompiles
+        instead of surfacing :class:`BatcherClosed`.  (Requests already
+        *enqueued* in an evicted batcher do fail with :class:`BatcherClosed`
+        — size ``cache_capacity`` above the concurrently-served working set
+        to avoid eviction churn.)
+        """
+        last_exc: Optional[BaseException] = None
+        for _ in range(3):
+            artifact = self._artifact_for(model, signature)
+            if not artifact.batchable and batch_len > 1:
+                raise ServingError(
+                    f"model {model.name!r} was compiled non-batch-fusable (its "
+                    "generated code bakes in the batch size); requests must "
+                    f"carry a single sample, got batch length {batch_len}")
+            try:
+                return artifact.batcher.submit(arrays, batch_len), artifact
+            except BatcherClosed as exc:
+                last_exc = exc
+                self._cache.invalidate(artifact.key, expected=artifact)
+        raise ServingError(
+            f"could not route request for model {model.name!r}: artifact kept "
+            "closing under the request (severe cache-capacity pressure?)"
+        ) from last_exc
+
+    def infer(self, model: Model, inputs: Mapping[str, np.ndarray],
+              timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
+        """Synchronous :meth:`submit` + wait."""
+        return self.submit(model, inputs).result(
+            timeout=timeout if timeout is not None else self.config.timeout_s + 60.0)
+
+    def warmup(self, model: Model,
+               inputs: Optional[Mapping[str, np.ndarray]] = None) -> Dict:
+        """Compile (or cache-hit) the artifact for a model and run one request.
+
+        Returns a small summary dict; after warmup, the first real request
+        pays neither compilation nor worker-pool startup.
+        """
+        if self._closed:
+            raise ServingError("engine is shut down")
+        feed = dict(inputs) if inputs is not None else example_inputs(model)
+        start = time.perf_counter()
+        arrays, batch_len, signature = self._validate(model, feed)
+        self.metrics.record_submitted()
+        future, artifact = self._route(model, signature, arrays, batch_len)
+        future.result(timeout=self.config.timeout_s + 60.0)
+        cache = self._cache.stats()
+        return {
+            "model": model.name,
+            "warmup_time_s": round(time.perf_counter() - start, 4),
+            "batchable": artifact.batchable,
+            "cached_artifacts": cache["size"],
+            "compiles": self.metrics.snapshot()["cache"]["compiles"],
+        }
+
+    def shutdown(self) -> None:
+        """Close every cached artifact's batcher and worker pool."""
+        self._closed = True
+        self._cache.clear()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Cache / compilation
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """The artifact cache's size/hit/miss/eviction counters."""
+        return self._cache.stats()
+
+    def _artifact_for(self, model: Model, signature: Tuple) -> CompiledArtifact:
+        key = ArtifactKey(model_fingerprint(model), self._config_fp, signature)
+        artifact, hit = self._cache.get_or_create(
+            key, lambda: self._compile(model, key))
+        if self._closed:
+            # shutdown raced this lookup/compile: make sure the artifact is
+            # not left running (clear() may have missed the in-flight entry)
+            self._cache.invalidate(key, expected=artifact)
+            artifact.close()
+            raise ServingError("engine is shut down")
+        self.metrics.record_cache(hit)
+        return artifact
+
+    def _compile(self, model: Model, key: ArtifactKey) -> CompiledArtifact:
+        start = time.perf_counter()
+        result = ramiel_compile(model, config=dataclasses.replace(
+            self.config.pipeline, generate_code=True))
+        batchable = self._probe_batchable(result, key.input_signature)
+        pool = WarmExecutorPool(result.parallel_module,
+                                result.optimized_model.graph.initializers,
+                                backend=self.config.backend)
+        compile_time = time.perf_counter() - start
+        self.metrics.record_compile(compile_time)
+        artifact_cell: list = []
+
+        def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            try:
+                return pool.run(stacked, timeout=self.config.timeout_s)
+            except BaseException:
+                # A failed/timed-out run can leave workers wedged; drop the
+                # artifact so the next request recompiles instead of hitting
+                # a permanently broken pool.
+                if pool.broken and artifact_cell:
+                    self._cache.invalidate(key, expected=artifact_cell[0])
+                raise
+
+        policy = (self.config.batch_policy() if batchable
+                  else BatchPolicy(max_batch_size=1, max_wait_s=0.0))
+        batcher = MicroBatcher(run_batch, policy=policy,
+                               metrics=self.metrics,
+                               label=f"{model.name}@{key.short()}")
+        artifact = CompiledArtifact(key=key, result=result, pool=pool,
+                                    batcher=batcher, compile_time_s=compile_time,
+                                    batchable=batchable)
+        artifact_cell.append(artifact)
+        return artifact
+
+    def _probe_batchable(self, result: RamielResult, signature: Tuple) -> bool:
+        """Check whether the generated code tolerates batch-axis fusion.
+
+        Runs the freshly generated module once on a single sample and once on
+        a stacked batch of two (with the one-shot thread driver, so a failure
+        cannot wedge the warm pool) and requires every output to carry the
+        batch on axis 0 with the first row matching the single-sample run.
+        Probe inputs are synthesized from the *request signature* the
+        artifact is keyed by — the exact shapes this artifact will serve —
+        not from the model's declared shapes, whose wildcard dims may differ.
+        Models whose generated code bakes the batch size into static shapes
+        (e.g. BERT's attention reshapes) fail the probe and are served one
+        request at a time — still cached and warm, just not fused.
+        """
+        if self.config.max_batch_size <= 1:
+            return False
+        weights = result.optimized_model.graph.initializers
+        module = result.parallel_module
+        try:
+            single = signature_inputs(signature, batch_size=1, seed=0)
+            other = signature_inputs(signature, batch_size=1, seed=1)
+            stacked = {name: np.concatenate([single[name], other[name]],
+                                            axis=BATCH_AXIS)
+                       for name in single}
+            reference = execute_generated_module(
+                module, single, weights, backend="thread",
+                timeout=self.config.timeout_s)
+            batched = execute_generated_module(
+                module, stacked, weights, backend="thread",
+                timeout=self.config.timeout_s)
+        except BaseException:  # noqa: BLE001 - any failure means "do not fuse"
+            return False
+        for name, ref in reference.items():
+            ref = np.asarray(ref)
+            out = np.asarray(batched[name])
+            if out.ndim < 1 or out.shape[0] != 2 or out.shape[1:] != ref.shape[1:]:
+                return False
+            if not np.allclose(out[:1], ref, rtol=1e-4, atol=1e-5, equal_nan=True):
+                return False
+        return True
+
+    def _on_evict(self, key: ArtifactKey, artifact: CompiledArtifact) -> None:
+        self.metrics.record_eviction()
+        artifact.close()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, model: Model, inputs: Mapping[str, np.ndarray]):
+        """Check a request against the model's declared graph inputs.
+
+        The leading (batch) dimension of every input is free; all other
+        dimensions must match the declaration exactly (``None`` dims are
+        wildcards).  Every input in one request must agree on its batch
+        length.  Returns ``(arrays, batch_len, signature)`` where the
+        signature is the cache-key component describing the request shape.
+        """
+        declared = {info.name: info for info in model.graph.inputs}
+        unknown = sorted(set(inputs) - set(declared))
+        if unknown:
+            raise ShapeMismatchError(
+                f"model {model.name!r} has no inputs named {unknown}; "
+                f"expected {sorted(declared)}")
+        missing = sorted(set(declared) - set(inputs))
+        if missing:
+            raise ShapeMismatchError(
+                f"request for model {model.name!r} is missing inputs {missing}")
+
+        arrays: Dict[str, np.ndarray] = {}
+        batch_len: Optional[int] = None
+        signature = []
+        for name in sorted(declared):
+            array = np.asarray(inputs[name])
+            info = declared[name]
+            shape = info.shape
+            if shape is not None:
+                if array.ndim != len(shape):
+                    raise ShapeMismatchError(
+                        f"input {name!r} of model {model.name!r}: expected "
+                        f"{len(shape)} dimensions {tuple(shape)}, got shape "
+                        f"{array.shape}")
+                for axis, declared_dim in enumerate(shape):
+                    if axis == 0 or declared_dim is None:
+                        continue  # batch axis / wildcard
+                    if array.shape[axis] != declared_dim:
+                        raise ShapeMismatchError(
+                            f"input {name!r} of model {model.name!r}: axis "
+                            f"{axis} must be {declared_dim}, got {array.shape[axis]} "
+                            f"(full shape {array.shape} vs declared {tuple(shape)})")
+            this_len = int(array.shape[0]) if array.ndim >= 1 else 1
+            if batch_len is None:
+                batch_len = this_len
+            elif this_len != batch_len:
+                raise ShapeMismatchError(
+                    f"request for model {model.name!r} mixes batch lengths: "
+                    f"input {name!r} has {this_len}, earlier inputs {batch_len}")
+            arrays[name] = array
+            signature.append((name, str(array.dtype), tuple(array.shape[1:])))
+        return arrays, batch_len or 1, tuple(signature)
+
+
+# ---------------------------------------------------------------------------
+# Input synthesis and load-generation helpers (CLI, benchmarks, examples)
+# ---------------------------------------------------------------------------
+def signature_inputs(signature: Tuple, batch_size: int = 1,
+                     seed: int = 0) -> Dict[str, np.ndarray]:
+    """Random inputs matching a request signature (name, dtype, tail shape)."""
+    rng = np.random.default_rng(seed)
+    feed: Dict[str, np.ndarray] = {}
+    for name, dtype, tail in signature:
+        shape = (batch_size,) + tuple(tail)
+        if str(dtype).startswith("int") or str(dtype).startswith("uint"):
+            feed[name] = rng.integers(0, 100, size=shape).astype(dtype)
+        else:
+            feed[name] = rng.standard_normal(shape).astype(dtype)
+    return feed
+
+
+def example_inputs(model: Model, batch_size: int = 1, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Random inputs matching a model's declared signature.
+
+    ``None`` dims resolve to 1 except the leading (batch) axis which takes
+    ``batch_size``; integer inputs are drawn from [0, 100).
+    """
+    rng = np.random.default_rng(seed)
+    feed: Dict[str, np.ndarray] = {}
+    for info in model.graph.inputs:
+        shape = list(info.shape or (1,))
+        shape = [1 if d is None else d for d in shape]
+        if shape:
+            shape[0] = batch_size
+        if info.dtype.value.startswith("int"):
+            feed[info.name] = rng.integers(0, 100, size=shape).astype(info.dtype.value)
+        else:
+            feed[info.name] = rng.standard_normal(shape).astype(np.float32)
+    return feed
+
+
+def drive_load(engine: InferenceEngine, model: Model, num_requests: int,
+               concurrency: int = 8) -> Dict[str, float]:
+    """Fire ``num_requests`` concurrent requests at the engine; report rps.
+
+    Each caller thread submits and waits (``engine.infer``), so up to
+    ``concurrency`` requests are in flight at once — the condition under
+    which the micro-batcher actually batches.
+    """
+    def one_request(i: int) -> None:
+        engine.infer(model, example_inputs(model, seed=i))
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as executor:
+        futures = [executor.submit(one_request, i) for i in range(num_requests)]
+        for future in futures:
+            future.result()
+    elapsed = time.perf_counter() - start
+    return {"requests": num_requests, "elapsed_s": elapsed,
+            "rps": num_requests / elapsed if elapsed > 0 else float("inf")}
+
+
+def naive_throughput(model: Model, num_requests: int = 3,
+                     pipeline_config: Optional[PipelineConfig] = None,
+                     backend: str = "thread") -> Dict[str, float]:
+    """Requests/sec of the pre-serving path: full recompile per request.
+
+    This is what every invocation cost before the serving layer existed —
+    ``ramiel_compile`` plus one parallel execution, with nothing reused —
+    and is the baseline the serving benchmark compares against.
+    """
+    config = pipeline_config or PipelineConfig()
+    start = time.perf_counter()
+    for i in range(num_requests):
+        result = ramiel_compile(model, config=dataclasses.replace(
+            config, generate_code=True))
+        result.run_parallel(example_inputs(model, seed=i), backend=backend)
+    elapsed = time.perf_counter() - start
+    return {"requests": num_requests, "elapsed_s": elapsed,
+            "rps": num_requests / elapsed if elapsed > 0 else float("inf")}

@@ -1,0 +1,141 @@
+"""Thread-safe serving metrics: throughput, latency percentiles, batches, cache.
+
+One :class:`ServingMetrics` instance is shared by an
+:class:`~repro.serving.engine.InferenceEngine`, its micro-batchers and its
+artifact cache.  Everything is recorded under a single lock (the recorded
+quantities are tiny compared to operator execution) and exported as a plain
+dict via :meth:`ServingMetrics.snapshot`, which
+:func:`repro.analysis.reports.render_serving_report` renders as text.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def percentile(samples: List[float], q: float) -> Optional[float]:
+    """``q``-th percentile of ``samples`` (None when empty)."""
+    if not samples:
+        return None
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+class ServingMetrics:
+    """Accumulates per-request, per-batch and cache statistics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all recorded samples and counters."""
+        with self._lock:
+            self._submitted = 0
+            self._completed = 0
+            self._failed = 0
+            self._latencies_s: List[float] = []
+            self._batch_sizes: List[int] = []
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._compiles = 0
+            self._compile_time_s = 0.0
+            self._evictions = 0
+            self._first_submit_t: Optional[float] = None
+            self._last_done_t: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_submitted(self) -> None:
+        """One request entered the engine."""
+        with self._lock:
+            self._submitted += 1
+            if self._first_submit_t is None:
+                self._first_submit_t = time.perf_counter()
+
+    def record_completed(self, latency_s: float, ok: bool = True) -> None:
+        """One request finished after ``latency_s``.
+
+        Failed requests count toward ``failed`` but are excluded from the
+        latency percentiles: a 300s batch timeout is a failure, not a p99.
+        """
+        with self._lock:
+            if ok:
+                self._completed += 1
+                self._latencies_s.append(latency_s)
+            else:
+                self._failed += 1
+            self._last_done_t = time.perf_counter()
+
+    def record_batch(self, size: int) -> None:
+        """One micro-batch of ``size`` requests was executed."""
+        with self._lock:
+            self._batch_sizes.append(int(size))
+
+    def record_cache(self, hit: bool) -> None:
+        """One compiled-artifact cache lookup."""
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def record_compile(self, seconds: float) -> None:
+        """One Ramiel compilation was performed (a cache miss was filled)."""
+        with self._lock:
+            self._compiles += 1
+            self._compile_time_s += seconds
+
+    def record_eviction(self) -> None:
+        """One artifact was evicted from the cache."""
+        with self._lock:
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """All metrics as a plain dict (stable keys; values None when unseen).
+
+        Throughput is completed requests divided by the span from the first
+        ``submit`` to the last completion — the steady-state serving rate,
+        not an average over idle time before/after the load.  Latency
+        percentiles cover successfully completed requests only.
+        """
+        with self._lock:
+            latencies_ms = [s * 1e3 for s in self._latencies_s]
+            span = None
+            if self._first_submit_t is not None and self._last_done_t is not None:
+                span = max(self._last_done_t - self._first_submit_t, 1e-9)
+            lookups = self._cache_hits + self._cache_misses
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "throughput_rps": (self._completed / span) if span else None,
+                "latency_ms": {
+                    "p50": percentile(latencies_ms, 50),
+                    "p95": percentile(latencies_ms, 95),
+                    "p99": percentile(latencies_ms, 99),
+                    "mean": float(np.mean(latencies_ms)) if latencies_ms else None,
+                    "max": max(latencies_ms) if latencies_ms else None,
+                },
+                "batches": len(self._batch_sizes),
+                "mean_batch_size": (float(np.mean(self._batch_sizes))
+                                    if self._batch_sizes else None),
+                "batch_histogram": dict(sorted(
+                    collections.Counter(self._batch_sizes).items())),
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (self._cache_hits / lookups) if lookups else None,
+                    "compiles": self._compiles,
+                    "compile_time_s": round(self._compile_time_s, 4),
+                    "evictions": self._evictions,
+                },
+            }

@@ -1,0 +1,445 @@
+"""Tests for the serving subsystem: engine, micro-batcher, artifact cache.
+
+Covers the batcher's edge cases (single request flushed at the wait
+deadline, mismatched non-batch shapes rejected cleanly, cache eviction when
+capacity is exceeded), compile-exactly-once caching, warm-pool reuse, and
+numerical agreement of batched serving with the sequential reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    PipelineConfig,
+    artifact_fingerprint,
+    config_fingerprint,
+    model_fingerprint,
+    ramiel_compile,
+)
+from repro.runtime.worker_pool import WarmExecutorPool
+from repro.serving import (
+    ArtifactCache,
+    ArtifactKey,
+    BatcherClosed,
+    BatchPolicy,
+    EngineConfig,
+    InferenceEngine,
+    MicroBatcher,
+    ShapeMismatchError,
+    example_inputs,
+    scatter_outputs,
+)
+from tests.conftest import build_chain_model, build_diamond_model
+
+
+def tiny_engine(**overrides) -> InferenceEngine:
+    defaults = dict(max_batch_size=4, max_wait_s=0.02, cache_capacity=4)
+    defaults.update(overrides)
+    return InferenceEngine(EngineConfig(**defaults))
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+class TestFingerprints:
+    def test_identical_models_share_fingerprint(self):
+        assert model_fingerprint(build_diamond_model()) == \
+            model_fingerprint(build_diamond_model())
+
+    def test_different_models_differ(self):
+        assert model_fingerprint(build_diamond_model()) != \
+            model_fingerprint(build_chain_model())
+
+    def test_config_fields_change_fingerprint(self):
+        base = config_fingerprint(PipelineConfig())
+        assert config_fingerprint(PipelineConfig(clone=True)) != base
+        assert config_fingerprint(PipelineConfig(num_cores=4)) != base
+
+    def test_output_dir_and_generate_code_ignored(self):
+        assert config_fingerprint(PipelineConfig(output_dir="/tmp/x",
+                                                 generate_code=False)) == \
+            config_fingerprint(PipelineConfig())
+
+    def test_artifact_fingerprint_includes_signature(self):
+        model = build_diamond_model()
+        assert artifact_fingerprint(model, input_signature=(("x", "float32", (3,)),)) != \
+            artifact_fingerprint(model, input_signature=(("x", "float32", (4,)),))
+
+    def test_memoized_fingerprint_not_persisted_through_serialization(self):
+        """A saved/reloaded/mutated model must re-derive its fingerprint,
+        not trust the stale memo — else the serving cache serves the wrong
+        compiled artifact."""
+        import tempfile
+        from pathlib import Path
+
+        from repro.ir.serialization import load_model, save_model
+
+        model = build_diamond_model()
+        original_fp = model_fingerprint(model)  # memoized into metadata
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_model(model, Path(tmp) / "m.json")
+            loaded = load_model(path)
+        assert "ramiel.fingerprint" not in loaded.metadata
+        assert model_fingerprint(loaded) == original_fp  # content unchanged
+        name = next(iter(loaded.graph.initializers))
+        loaded.graph.initializers[name] = loaded.graph.initializers[name] + 1.0
+        loaded.metadata.pop("ramiel.fingerprint", None)
+        assert model_fingerprint(loaded) != original_fp
+
+
+# ---------------------------------------------------------------------------
+# Micro-batcher
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_single_request_flushed_at_deadline(self):
+        """One lone in-flight request must not wait for a full batch."""
+        batches = []
+
+        def run_batch(stacked):
+            batches.append({k: v.shape for k, v in stacked.items()})
+            return {"y": stacked["x"] * 2}
+
+        batcher = MicroBatcher(run_batch,
+                               policy=BatchPolicy(max_batch_size=64, max_wait_s=0.01))
+        try:
+            start = time.perf_counter()
+            fut = batcher.submit({"x": np.ones((1, 4))}, batch_len=1)
+            result = fut.result(timeout=5.0)
+            elapsed = time.perf_counter() - start
+        finally:
+            batcher.close()
+        assert result["y"].shape == (1, 4)
+        assert batches == [{"x": (1, 4)}]
+        # flushed by the deadline, far before any "wait for 64 requests" hang
+        assert elapsed < 2.0
+
+    def test_concurrent_requests_are_fused(self):
+        sizes = []
+
+        def run_batch(stacked):
+            sizes.append(stacked["x"].shape[0])
+            return {"y": stacked["x"] + 1}
+
+        batcher = MicroBatcher(run_batch,
+                               policy=BatchPolicy(max_batch_size=8, max_wait_s=0.2))
+        try:
+            futures = [batcher.submit({"x": np.full((1, 2), i, dtype=np.float64)},
+                                      batch_len=1)
+                       for i in range(8)]
+            results = [f.result(timeout=10.0) for f in futures]
+        finally:
+            batcher.close()
+        # every request got its own row back, in order
+        for i, result in enumerate(results):
+            assert np.array_equal(result["y"], np.full((1, 2), i + 1))
+        assert max(sizes) > 1  # at least one real fusion happened
+        assert sum(sizes) == 8
+
+    def test_batch_failure_fails_every_cobatched_request(self):
+        def run_batch(stacked):
+            raise ValueError("kernel exploded")
+
+        batcher = MicroBatcher(run_batch,
+                               policy=BatchPolicy(max_batch_size=4, max_wait_s=0.05))
+        try:
+            futures = [batcher.submit({"x": np.ones((1, 2))}, batch_len=1)
+                       for _ in range(3)]
+            for fut in futures:
+                with pytest.raises(ValueError, match="kernel exploded"):
+                    fut.result(timeout=5.0)
+        finally:
+            batcher.close()
+
+    def test_close_fails_pending_and_rejects_new(self):
+        release = threading.Event()
+
+        def run_batch(stacked):
+            release.wait(timeout=5.0)
+            return {"y": stacked["x"]}
+
+        batcher = MicroBatcher(run_batch,
+                               policy=BatchPolicy(max_batch_size=1, max_wait_s=0.0))
+        first = batcher.submit({"x": np.ones(1)}, batch_len=1)  # occupies the collector
+        time.sleep(0.05)
+        second = batcher.submit({"x": np.ones(1)}, batch_len=1)  # stays pending
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=5.0)
+        assert first.result(timeout=5.0)["y"].shape == (1,)
+        with pytest.raises(BatcherClosed):
+            second.result(timeout=5.0)
+        with pytest.raises(BatcherClosed):
+            batcher.submit({"x": np.ones(1)}, batch_len=1)
+
+    def test_scatter_handles_unbatched_outputs(self):
+        class Req:
+            def __init__(self, n):
+                self.batch_len = n
+
+        outputs = {"batched": np.arange(6).reshape(3, 2), "scalar": np.float64(7.0)}
+        parts = scatter_outputs(outputs, [Req(1), Req(2)])
+        assert np.array_equal(parts[0]["batched"], [[0, 1]])
+        assert np.array_equal(parts[1]["batched"], [[2, 3], [4, 5]])
+        assert parts[0]["scalar"] == parts[1]["scalar"] == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+def _key(tag: str) -> ArtifactKey:
+    return ArtifactKey(tag, "cfg", ())
+
+
+class TestArtifactCache:
+    def test_compile_exactly_once_under_concurrency(self):
+        cache = ArtifactCache(capacity=4)
+        compiles = []
+        barrier = threading.Barrier(4)
+        results = []
+
+        def factory():
+            compiles.append(1)
+            time.sleep(0.05)
+            return "artifact"
+
+        def lookup():
+            barrier.wait()
+            artifact, _ = cache.get_or_create(_key("m"), factory)
+            results.append(artifact)
+
+        threads = [threading.Thread(target=lookup) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(compiles) == 1
+        assert results == ["artifact"] * 4
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 3
+
+    def test_eviction_when_capacity_exceeded(self):
+        evicted = []
+        cache = ArtifactCache(capacity=2,
+                              on_evict=lambda key, art: evicted.append(key))
+        for tag in ("a", "b", "c"):
+            cache.get_or_create(_key(tag), lambda tag=tag: f"artifact-{tag}")
+        assert len(cache) == 2
+        assert evicted == [_key("a")]  # LRU order
+        assert cache.stats()["evictions"] == 1
+        # the evicted key recompiles on next sight
+        _, hit = cache.get_or_create(_key("a"), lambda: "artifact-a2")
+        assert not hit
+
+    def test_lru_order_updated_on_hit(self):
+        evicted = []
+        cache = ArtifactCache(capacity=2,
+                              on_evict=lambda key, art: evicted.append(key))
+        cache.get_or_create(_key("a"), lambda: "a")
+        cache.get_or_create(_key("b"), lambda: "b")
+        cache.get_or_create(_key("a"), lambda: "never")  # refresh "a"
+        cache.get_or_create(_key("c"), lambda: "c")
+        assert evicted == [_key("b")]
+
+    def test_failed_factory_is_retryable(self):
+        cache = ArtifactCache(capacity=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.get_or_create(_key("a"), lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        artifact, hit = cache.get_or_create(_key("a"), lambda: "recovered")
+        assert artifact == "recovered" and not hit
+
+
+# ---------------------------------------------------------------------------
+# Warm executor pool
+# ---------------------------------------------------------------------------
+class TestWarmExecutorPool:
+    def test_repeated_runs_match_sequential(self):
+        model = build_diamond_model()
+        result = ramiel_compile(model)
+        feed = example_inputs(model, seed=3)
+        reference = result.run_sequential(feed)
+        with WarmExecutorPool(result.parallel_module,
+                              result.optimized_model.graph.initializers) as pool:
+            for _ in range(3):
+                outputs = pool.run(feed, timeout=60.0)
+                for name, ref in reference.items():
+                    np.testing.assert_allclose(outputs[name], ref, rtol=1e-5, atol=1e-6)
+
+    def test_closed_pool_refuses_work(self):
+        model = build_diamond_model()
+        result = ramiel_compile(model)
+        pool = WarmExecutorPool(result.parallel_module,
+                                result.optimized_model.graph.initializers)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.run(example_inputs(model))
+
+
+# ---------------------------------------------------------------------------
+# Inference engine
+# ---------------------------------------------------------------------------
+class TestInferenceEngine:
+    def test_serving_matches_sequential_reference(self):
+        model = build_diamond_model()
+        reference = ramiel_compile(model)
+        with tiny_engine() as engine:
+            for seed in range(3):
+                feed = example_inputs(model, seed=seed)
+                outputs = engine.infer(model, feed)
+                expected = reference.run_sequential(feed)
+                for name, ref in expected.items():
+                    np.testing.assert_allclose(outputs[name], ref,
+                                               rtol=1e-5, atol=1e-6)
+
+    def test_second_request_is_cache_hit_with_zero_recompilation(self):
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            engine.infer(model, example_inputs(model, seed=0))
+            engine.infer(model, example_inputs(model, seed=1))
+            cache = engine.metrics.snapshot()["cache"]
+        assert cache["compiles"] == 1
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+
+    def test_equivalent_rebuilt_model_is_cache_hit(self):
+        """The cache keys by content, not object identity."""
+        with tiny_engine() as engine:
+            engine.infer(build_diamond_model(), example_inputs(build_diamond_model()))
+            engine.infer(build_diamond_model(), example_inputs(build_diamond_model()))
+            assert engine.metrics.snapshot()["cache"]["compiles"] == 1
+
+    def test_concurrent_load_is_batched(self):
+        model = build_diamond_model()
+        with tiny_engine(max_batch_size=4, max_wait_s=0.05) as engine:
+            engine.warmup(model)
+            threads = []
+            errors = []
+
+            def request(seed):
+                try:
+                    engine.infer(model, example_inputs(model, seed=seed))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            for seed in range(8):
+                threads.append(threading.Thread(target=request, args=(seed,)))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            snapshot = engine.metrics.snapshot()
+        assert not errors
+        assert snapshot["completed"] == 9  # warmup + 8 concurrent
+        assert max(snapshot["batch_histogram"]) > 1
+
+    def test_mismatched_non_batch_shape_rejected_cleanly(self):
+        model = build_diamond_model()  # declares x: (1, 3, 16, 16)
+        with tiny_engine() as engine:
+            with pytest.raises(ShapeMismatchError, match="axis"):
+                engine.submit(model, {"x": np.zeros((1, 3, 8, 8), dtype=np.float32)})
+            with pytest.raises(ShapeMismatchError, match="dimensions"):
+                engine.submit(model, {"x": np.zeros((1, 3, 16), dtype=np.float32)})
+            with pytest.raises(ShapeMismatchError, match="missing"):
+                engine.submit(model, {})
+            with pytest.raises(ShapeMismatchError, match="no inputs named"):
+                engine.submit(model, {"x": np.zeros((1, 3, 16, 16), dtype=np.float32),
+                                      "bogus": np.zeros(1)})
+            # a clean rejection must not poison the engine for valid requests
+            outputs = engine.infer(model, example_inputs(model))
+            assert outputs
+
+    def test_request_with_larger_batch_dim(self):
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            outputs = engine.infer(model, example_inputs(model, batch_size=3))
+            (name, array), = outputs.items()
+            assert array.shape[0] == 3
+
+    def test_cache_eviction_closes_artifact_and_recompiles(self):
+        with tiny_engine(cache_capacity=1) as engine:
+            diamond, chain = build_diamond_model(), build_chain_model()
+            engine.infer(diamond, example_inputs(diamond))
+            engine.infer(chain, example_inputs(chain))   # evicts diamond
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["cache"]["evictions"] == 1
+            assert engine.cache_stats()["size"] == 1
+            # diamond still serves correctly — via a fresh compilation
+            engine.infer(diamond, example_inputs(diamond))
+            assert engine.metrics.snapshot()["cache"]["compiles"] == 3
+
+    def test_shutdown_rejects_new_requests(self):
+        model = build_diamond_model()
+        engine = tiny_engine()
+        engine.infer(model, example_inputs(model))
+        engine.shutdown()
+        with pytest.raises(RuntimeError):
+            engine.submit(model, example_inputs(model))
+
+    def test_warmup_records_no_spurious_cache_hit(self):
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            engine.warmup(model)
+            cache = engine.metrics.snapshot()["cache"]
+        assert cache["misses"] == 1
+        assert cache["hits"] == 0
+
+    def test_broken_pool_is_invalidated_and_recompiled(self):
+        """A wedged warm pool must not poison the artifact forever."""
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            arrays, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            artifact.pool._broken = True  # simulate a timed-out/failed run
+            with pytest.raises(RuntimeError, match="broken"):
+                engine.infer(model, feed)
+            # the poisoned artifact was dropped; the next request recompiles
+            outputs = engine.infer(model, feed)
+            assert outputs
+            snapshot = engine.metrics.snapshot()["cache"]
+            assert snapshot["compiles"] == 2
+            assert snapshot["evictions"] == 1
+
+    def test_request_survives_artifact_closed_under_it(self):
+        """Eviction racing the submit path retries with a fresh compile."""
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            arrays, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            artifact.batcher.close()  # artifact dies while still cached
+            outputs = engine.infer(model, feed)  # must not raise BatcherClosed
+            assert outputs
+            assert engine.metrics.snapshot()["cache"]["compiles"] == 2
+
+    def test_failed_requests_excluded_from_latency_percentiles(self):
+        def run_batch(stacked):
+            raise ValueError("boom")
+
+        from repro.serving import ServingMetrics
+
+        metrics = ServingMetrics()
+        batcher = MicroBatcher(run_batch, policy=BatchPolicy(max_batch_size=2,
+                                                             max_wait_s=0.01),
+                               metrics=metrics)
+        try:
+            futures = [batcher.submit({"x": np.ones(1)}, batch_len=1)
+                       for _ in range(2)]
+            for fut in futures:
+                with pytest.raises(ValueError):
+                    fut.result(timeout=5.0)
+        finally:
+            batcher.close()
+        snapshot = metrics.snapshot()
+        assert snapshot["failed"] == 2
+        assert snapshot["completed"] == 0
+        assert snapshot["latency_ms"]["p50"] is None
