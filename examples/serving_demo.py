@@ -4,7 +4,7 @@ Demonstrates the `repro.serving` subsystem end to end:
 
 1. build two zoo models (reduced-size variants keep the demo fast),
 2. warm the engine up — each model is Ramiel-compiled exactly once into
-   the compiled-artifact cache, with a warm per-cluster worker pool,
+   the compiled-artifact cache, served through its cached execution plan,
 3. fire concurrent requests from many threads; the dynamic micro-batcher
    fuses simultaneous requests along the batch axis,
 4. print the serving metrics report: throughput, latency percentiles,

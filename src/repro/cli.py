@@ -62,6 +62,8 @@ def _build_parser() -> argparse.ArgumentParser:
     warmup_p.add_argument("models", nargs="+",
                           help="model names (e.g. squeezenet bert)")
     warmup_p.add_argument("--variant", default="small", choices=["default", "small"])
+    warmup_p.add_argument("--executor", default="plan", choices=["plan", "pool"],
+                          help="request executor: planned engine or warm worker pool")
     warmup_p.add_argument("--backend", default="thread", choices=["thread", "process"])
     warmup_p.add_argument("--json", action="store_true", help="print a JSON summary")
 
@@ -79,6 +81,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="micro-batcher max batch size (default 8)")
     serve_p.add_argument("--max-wait-ms", type=float, default=5.0,
                          help="micro-batcher max wait in ms (default 5)")
+    serve_p.add_argument("--executor", default="plan", choices=["plan", "pool"],
+                         help="request executor: planned engine or warm worker pool")
     serve_p.add_argument("--backend", default="thread", choices=["thread", "process"])
     serve_p.add_argument("--compare-naive", type=int, default=0, metavar="N",
                          help="also measure N naive compile-per-request calls per model")
@@ -157,7 +161,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_warmup(args: argparse.Namespace) -> int:
     from repro.serving import EngineConfig, InferenceEngine
 
-    engine = InferenceEngine(EngineConfig(backend=args.backend))
+    engine = InferenceEngine(EngineConfig(executor=args.executor,
+                                          backend=args.backend))
     summaries = []
     try:
         for name in args.models:
@@ -187,6 +192,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     engine = InferenceEngine(EngineConfig(
         max_batch_size=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
+        executor=args.executor,
         backend=args.backend,
     ))
     per_model = []

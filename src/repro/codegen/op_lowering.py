@@ -105,21 +105,28 @@ def _lower_conv_transpose(node: OpNode, inputs: List[str], outputs: List[str]) -
     ]
 
 
-def _lower_pool(fn_name: str) -> _Lowering:
+def _lower_pool(fn_name: str, emit_count_include_pad: bool = False) -> _Lowering:
     def lowering(node: OpNode, inputs: List[str], outputs: List[str]) -> List[str]:
+        # The ONNX default for AveragePool's count_include_pad is 0; emit the
+        # resolved flag explicitly so the generated code does not depend on
+        # the functional-namespace default.
+        extra = ""
+        if emit_count_include_pad:
+            extra = (f", count_include_pad="
+                     f"{bool(node.get_attr('count_include_pad', 0))}")
         return [
             f"{outputs[0]} = F.{fn_name}({inputs[0]}, "
             f"kernel={_literal(node.get_attr('kernel_shape', [1, 1]))}, "
             f"strides={_literal(node.get_attr('strides', [1, 1]))}, "
             f"pads={_literal(node.get_attr('pads', [0, 0, 0, 0]))}, "
-            f"ceil_mode={bool(node.get_attr('ceil_mode', 0))})"
+            f"ceil_mode={bool(node.get_attr('ceil_mode', 0))}{extra})"
         ]
 
     return lowering
 
 
 _LOWERINGS["MaxPool"] = _lower_pool("max_pool2d")
-_LOWERINGS["AveragePool"] = _lower_pool("avg_pool2d")
+_LOWERINGS["AveragePool"] = _lower_pool("avg_pool2d", emit_count_include_pad=True)
 _LOWERINGS["GlobalAveragePool"] = _simple_call("global_avg_pool2d")
 _LOWERINGS["GlobalMaxPool"] = _simple_call("global_max_pool2d")
 

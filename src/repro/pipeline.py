@@ -43,6 +43,7 @@ from repro.graph.dataflow import DataflowGraph, model_to_dataflow
 from repro.graph.parallelism import ParallelismReport, potential_parallelism
 from repro.ir.model import Model
 from repro.passes import optimize_model
+from repro.runtime.plan import ExecutionPlan, PlanError
 
 
 @dataclasses.dataclass
@@ -59,6 +60,9 @@ class PipelineConfig:
     switched_hyperclusters: bool = False
     #: generate code (can be disabled for analysis-only runs)
     generate_code: bool = True
+    #: build an :class:`~repro.runtime.plan.ExecutionPlan` for the optimized
+    #: model (the serving engine's single-process fast path)
+    build_plan: bool = True
     #: directory for the generated modules (temporary when omitted)
     output_dir: Optional[str] = None
     #: static cost model
@@ -88,6 +92,7 @@ class RamielResult:
     stage_times_s: Dict[str, float]
     pruning_stats: Optional[dict]
     cloning_report: Optional[object]
+    execution_plan: Optional[ExecutionPlan] = None
 
     @property
     def predicted_speedup(self) -> float:
@@ -118,6 +123,17 @@ class RamielResult:
         return execute_generated_module(self.parallel_module, inputs,
                                         self.optimized_model.graph.initializers,
                                         backend=backend)
+
+    def plan(self) -> ExecutionPlan:
+        """The compiled artifact's execution plan (built on first access when
+        the pipeline ran with ``build_plan=False`` or plan building failed)."""
+        if self.execution_plan is None:
+            self.execution_plan = ExecutionPlan(self.optimized_model)
+        return self.execution_plan
+
+    def run_planned(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute via the compile-once :class:`ExecutionPlan` hot path."""
+        return self.plan().run(inputs)
 
     def summary(self) -> dict:
         """Compact summary used by the CLI and the examples."""
@@ -175,10 +191,10 @@ def model_fingerprint(model: Model) -> str:
 def config_fingerprint(config: PipelineConfig) -> str:
     """Stable hash of the compilation-relevant fields of a :class:`PipelineConfig`.
 
-    ``output_dir`` and ``generate_code`` are deliberately excluded: they
-    change where/whether code is materialized but not what is compiled, so
-    artifacts compiled under different output directories can share a cache
-    entry.  The cost model participates through its ``repr`` — two configs
+    ``output_dir``, ``generate_code`` and ``build_plan`` are deliberately
+    excluded: they change where/whether artifacts are materialized but not
+    what is compiled, so artifacts compiled under different output
+    directories can share a cache entry.  The cost model participates through its ``repr`` — two configs
     with behaviourally identical but differently-ordered cost tables hash
     differently, which only costs a spurious cache miss, never a wrong hit.
     """
@@ -288,7 +304,21 @@ def ramiel_compile(model: Model, config: Optional[PipelineConfig] = None,
     schedule = simulator.simulate(clustering)
     stage_times["simulate"] = time.perf_counter() - start
 
-    # 7. Code generation (sequential + parallel), batch-size-1 graphs only:
+    # 7. Execution-plan build: resolve handlers/attributes into bound
+    #    closures and precompute the buffer-arena liveness for the
+    #    interpreter-replacing hot path.  Best-effort — a model with ops the
+    #    numpy runtime cannot execute still compiles (the plan is rebuilt
+    #    lazily, and fails with the same diagnostic, if actually requested).
+    execution_plan = None
+    if config.build_plan:
+        start = time.perf_counter()
+        try:
+            execution_plan = ExecutionPlan(optimized)
+        except PlanError:
+            execution_plan = None
+        stage_times["plan"] = time.perf_counter() - start
+
+    # 8. Code generation (sequential + parallel), batch-size-1 graphs only:
     #    hyperclusters describe replicated graphs whose code generation would
     #    require replicated inputs; the paper also generates code per sample.
     sequential_module = None
@@ -316,4 +346,5 @@ def ramiel_compile(model: Model, config: Optional[PipelineConfig] = None,
         stage_times_s=stage_times,
         pruning_stats=pruning_stats,
         cloning_report=cloning_report,
+        execution_plan=execution_plan,
     )

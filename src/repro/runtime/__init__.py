@@ -12,6 +12,10 @@ and the benchmarks need:
 * :class:`repro.runtime.executor.GraphExecutor` — a reference interpreter
   that runs an IR graph directly (used to check generated code against the
   source model and by constant folding).
+* :class:`repro.runtime.plan.ExecutionPlan` — the planned execution engine:
+  compile-once bound closures, a liveness-managed buffer arena and fused
+  elementwise tails; the serving engine's default executor, differentially
+  tested against :class:`GraphExecutor`.
 * :mod:`repro.runtime.channels`, :mod:`repro.runtime.process_runtime` and
   :mod:`repro.runtime.thread_runtime` — the message-passing cluster
   runtimes (Python processes + queues, as in the paper, plus a thread
@@ -27,6 +31,7 @@ and the benchmarks need:
 
 from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
 from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
+from repro.runtime.plan import ExecutionPlan, PlanError, plan_model
 from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
 from repro.runtime.worker_pool import WarmExecutorPool
 
@@ -34,6 +39,9 @@ __all__ = [
     "GraphExecutor",
     "execute_model",
     "ExecutionError",
+    "ExecutionPlan",
+    "PlanError",
+    "plan_model",
     "WarmExecutorPool",
     "intra_op_threads",
     "get_num_threads",

@@ -8,9 +8,9 @@ import numpy as np
 from scipy import special as _special
 
 
-def relu(x: np.ndarray) -> np.ndarray:
-    """Rectified linear unit."""
-    return np.maximum(np.asarray(x), 0)
+def relu(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Rectified linear unit (optionally into a caller-owned ``out`` buffer)."""
+    return np.maximum(np.asarray(x), 0, out=out)
 
 
 def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
@@ -28,9 +28,9 @@ def prelu(x: np.ndarray, slope: np.ndarray) -> np.ndarray:
     return np.where(x >= 0, x, slope * x)
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Numerically stable logistic sigmoid."""
-    return _special.expit(np.asarray(x, dtype=np.float32))
+    return _special.expit(np.asarray(x, dtype=np.float32), out=out)
 
 
 def hard_sigmoid(x: np.ndarray, alpha: float = 0.2, beta: float = 0.5) -> np.ndarray:
@@ -38,14 +38,14 @@ def hard_sigmoid(x: np.ndarray, alpha: float = 0.2, beta: float = 0.5) -> np.nda
     return np.clip(alpha * np.asarray(x) + beta, 0.0, 1.0)
 
 
-def tanh(x: np.ndarray) -> np.ndarray:
+def tanh(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Hyperbolic tangent."""
-    return np.tanh(np.asarray(x))
+    return np.tanh(np.asarray(x), out=out)
 
 
-def erf(x: np.ndarray) -> np.ndarray:
+def erf(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Gauss error function (the core of ONNX-exported GELU)."""
-    return _special.erf(np.asarray(x, dtype=np.float32))
+    return _special.erf(np.asarray(x, dtype=np.float32), out=out)
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
@@ -72,10 +72,10 @@ def mish(x: np.ndarray) -> np.ndarray:
     return x * np.tanh(softplus(x))
 
 
-def softplus(x: np.ndarray) -> np.ndarray:
+def softplus(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Softplus: log(1 + exp(x)), stabilized."""
     x = np.asarray(x, dtype=np.float32)
-    return np.logaddexp(0.0, x)
+    return np.logaddexp(0.0, x, out=out)
 
 
 def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
@@ -90,11 +90,12 @@ def selu(x: np.ndarray, alpha: float = 1.6732632, gamma: float = 1.0507010) -> n
 
 
 def clip(x: np.ndarray, min_value: Optional[float] = None,
-         max_value: Optional[float] = None) -> np.ndarray:
+         max_value: Optional[float] = None,
+         out: Optional[np.ndarray] = None) -> np.ndarray:
     """Clamp values into ``[min_value, max_value]`` (either bound optional)."""
     lo = -np.inf if min_value is None else min_value
     hi = np.inf if max_value is None else max_value
-    return np.clip(np.asarray(x), lo, hi)
+    return np.clip(np.asarray(x), lo, hi, out=out)
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

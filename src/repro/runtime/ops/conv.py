@@ -79,7 +79,9 @@ def conv2d(
 
     out = parallel_over_batch(_convolve, x)
     if bias is not None:
-        out = out + np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1)
+        # The convolution result is a fresh float32 buffer, so the bias can
+        # broadcast-add in place instead of allocating a second output.
+        np.add(out, np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1), out=out)
     return out.astype(np.float32, copy=False)
 
 

@@ -1,108 +1,117 @@
-"""Binary/unary elementwise arithmetic with numpy broadcasting."""
+"""Binary/unary elementwise arithmetic with numpy broadcasting.
+
+Arithmetic functions accept an optional ``out=`` destination so callers that
+already own a correctly shaped/typed buffer — the planned execution engine's
+buffer arena (:mod:`repro.runtime.plan`) — can run allocation-free.  ``out``
+must match the result's shape and dtype exactly; with ``out=None`` behaviour
+is identical to the plain numpy call.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 
-def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def add(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise addition."""
-    return np.add(a, b)
+    return np.add(a, b, out=out)
 
 
-def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def sub(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise subtraction."""
-    return np.subtract(a, b)
+    return np.subtract(a, b, out=out)
 
 
-def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def mul(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise multiplication."""
-    return np.multiply(a, b)
+    return np.multiply(a, b, out=out)
 
 
-def div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def div(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise division."""
-    return np.divide(a, b)
+    return np.divide(a, b, out=out)
 
 
-def pow_(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def pow_(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise power."""
-    return np.power(a, b)
+    return np.power(a, b, out=out)
 
 
-def mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def mod(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise modulo."""
-    return np.mod(a, b)
+    return np.mod(a, b, out=out)
 
 
-def minimum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def minimum(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise minimum."""
-    return np.minimum(a, b)
+    return np.minimum(a, b, out=out)
 
 
-def maximum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def maximum(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise maximum."""
-    return np.maximum(a, b)
+    return np.maximum(a, b, out=out)
 
 
-def sqrt(x: np.ndarray) -> np.ndarray:
+def sqrt(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise square root."""
-    return np.sqrt(np.asarray(x, dtype=np.float32))
+    return np.sqrt(np.asarray(x, dtype=np.float32), out=out)
 
 
-def exp(x: np.ndarray) -> np.ndarray:
+def exp(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise exponential."""
-    return np.exp(np.asarray(x, dtype=np.float32))
+    return np.exp(np.asarray(x, dtype=np.float32), out=out)
 
 
-def log(x: np.ndarray) -> np.ndarray:
+def log(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise natural logarithm."""
-    return np.log(np.asarray(x, dtype=np.float32))
+    return np.log(np.asarray(x, dtype=np.float32), out=out)
 
 
-def neg(x: np.ndarray) -> np.ndarray:
+def neg(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise negation."""
-    return np.negative(x)
+    return np.negative(x, out=out)
 
 
-def abs_(x: np.ndarray) -> np.ndarray:
+def abs_(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise absolute value."""
-    return np.abs(x)
+    return np.abs(x, out=out)
 
 
-def reciprocal(x: np.ndarray) -> np.ndarray:
+def reciprocal(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise reciprocal."""
-    return np.reciprocal(np.asarray(x, dtype=np.float32))
+    return np.reciprocal(np.asarray(x, dtype=np.float32), out=out)
 
 
-def floor(x: np.ndarray) -> np.ndarray:
+def floor(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise floor."""
-    return np.floor(x)
+    return np.floor(x, out=out)
 
 
-def ceil(x: np.ndarray) -> np.ndarray:
+def ceil(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise ceiling."""
-    return np.ceil(x)
+    return np.ceil(x, out=out)
 
 
-def round_(x: np.ndarray) -> np.ndarray:
+def round_(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise round-half-to-even."""
-    return np.round(x)
+    return np.round(x, out=out)
 
 
-def sign(x: np.ndarray) -> np.ndarray:
+def sign(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise sign."""
-    return np.sign(x)
+    return np.sign(x, out=out)
 
 
-def cos(x: np.ndarray) -> np.ndarray:
+def cos(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise cosine."""
-    return np.cos(x)
+    return np.cos(x, out=out)
 
 
-def sin(x: np.ndarray) -> np.ndarray:
+def sin(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Elementwise sine."""
-    return np.sin(x)
+    return np.sin(x, out=out)
 
 
 def equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -56,12 +56,14 @@ def avg_pool2d(
     strides: Sequence[int] = (1, 1),
     pads: Sequence[int] = (0, 0, 0, 0),
     ceil_mode: bool = False,
-    count_include_pad: bool = True,
+    count_include_pad: bool = False,
 ) -> np.ndarray:
     """2D average pooling.
 
-    With ``count_include_pad=False`` the divisor counts only the non-padded
-    elements of each window, matching ONNX defaults for exported models.
+    The default ``count_include_pad=False`` matches the ONNX ``AveragePool``
+    default: the divisor counts only the non-padded elements of each window.
+    Pass ``count_include_pad=True`` for models exported with
+    ``count_include_pad=1``, where padding zeros participate in the mean.
     """
     windows = _pool_common(x, kernel, strides, pads, ceil_mode, pad_value=0.0)
     if count_include_pad:

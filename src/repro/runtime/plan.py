@@ -1,0 +1,892 @@
+"""Compile-once execution plans: fused dispatch, buffer arena, zero-realloc hot path.
+
+:class:`ExecutionPlan` is the planned counterpart of
+:class:`repro.runtime.executor.GraphExecutor`.  The interpreter redoes three
+kinds of call-invariant work on every request:
+
+1. **dispatch** — a handler-dict lookup and ``get_attr`` re-parsing per node,
+2. **allocation** — a fresh numpy array for every intermediate value,
+3. **bookkeeping** — timing guards and per-node argument marshalling.
+
+The plan does that work once at build time instead:
+
+* every node's handler and normalized attributes are resolved into a bound
+  closure (the ``_BINDERS`` registry, the planned analogue of the
+  interpreter's ``_HANDLERS``);
+* a liveness analysis over the topological order assigns recyclable
+  intermediates to a buffer **arena** keyed by ``(shape, dtype)`` slots —
+  once a value's last consumer has run, its buffer returns to the arena and
+  is handed to the next step that needs that slot, so the steady-state hot
+  path performs no allocations for elementwise work;
+* single-consumer elementwise/activation tails (``Conv -> Add -> Relu`` and
+  friends) are **fused** into their producer's step and applied in place on
+  the producer's output buffer via the ``out=`` destination-passing support
+  of :mod:`repro.runtime.functional`.
+
+Because every step calls the same :mod:`repro.runtime.functional` kernels as
+the interpreter — only with precomputed arguments and destinations — plan
+outputs are bitwise-identical to :class:`GraphExecutor` outputs, which the
+differential tests in ``tests/test_execution_plan.py`` assert on the whole
+model zoo.  ``GraphExecutor`` remains the semantic ground truth.
+
+Shape specialization is lazy: the first run under a given input signature
+executes without destinations and records each step's observed output shape
+and dtype; subsequent runs under the same signature reuse arena buffers.
+Serving traffic with a handful of distinct batch sizes therefore reaches the
+zero-realloc steady state after one warm run per signature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import types
+import weakref
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.runtime.functional as F
+from repro.graph.traversal import topological_sort_nodes
+from repro.ir.model import Graph, Model
+from repro.ir.node import OpNode
+from repro.runtime.executor import _HANDLERS, ExecutionError
+
+__all__ = ["ExecutionPlan", "PlanError"]
+
+
+class PlanError(ExecutionError):
+    """Raised when a plan cannot be built or executed."""
+
+
+#: Ops whose outputs may alias (view or be) their first input's memory.  The
+#: arena must never recycle a buffer while a view of it is live, so outputs
+#: of these ops share a storage group with their input and a storage is only
+#: recycled when every name in the group is dead.
+_ALIAS_OPS = frozenset({
+    "Identity", "Reshape", "Transpose", "Flatten", "Squeeze", "Unsqueeze",
+    "Slice", "Split", "Dropout", "Tile", "Expand", "Upsample", "Resize",
+})
+
+#: Ops that must not head a fused chain: alias ops (their output shares
+#: memory with a live input) and Constant (its bound closure returns the
+#: same cached array on every run — an in-place tail would corrupt it).
+_NONFUSABLE_HEADS = _ALIAS_OPS | {"Constant"}
+
+#: Unary ops with exact ``out=`` destination support in the functional
+#: namespace (all single-ufunc kernels; results are bitwise-identical with
+#: and without a destination).
+_OUT_UNARY: Dict[str, Callable] = {
+    "Relu": F.relu, "Sigmoid": F.sigmoid, "Tanh": F.tanh, "Erf": F.erf,
+    "Softplus": F.softplus, "Sqrt": F.sqrt, "Exp": F.exp, "Log": F.log,
+    "Neg": F.neg, "Abs": F.abs_, "Reciprocal": F.reciprocal,
+    "Floor": F.floor, "Ceil": F.ceil, "Round": F.round_, "Sign": F.sign,
+    "Cos": F.cos, "Sin": F.sin,
+}
+
+#: Binary ops with exact ``out=`` destination support.
+_OUT_BINARY: Dict[str, Callable] = {
+    "Add": F.add, "Sub": F.sub, "Mul": F.mul, "Div": F.div, "Pow": F.pow_,
+    "Mod": F.mod, "Min": F.minimum, "Max": F.maximum,
+}
+
+
+def _out_kernel(node: OpNode) -> Optional[Callable]:
+    """A ``kernel(args, out) -> array`` for out-capable nodes, else None."""
+    fn = _OUT_UNARY.get(node.op_type)
+    if fn is not None:
+        return lambda args, out, fn=fn: fn(args[0], out=out)
+    fn = _OUT_BINARY.get(node.op_type)
+    if fn is not None:
+        return lambda args, out, fn=fn: fn(args[0], args[1], out=out)
+    if node.op_type == "Clip" and len(node.present_inputs) == 1:
+        lo = node.get_attr("min")
+        hi = node.get_attr("max")
+        lo = None if lo is None else float(np.asarray(lo))
+        hi = None if hi is None else float(np.asarray(hi))
+        return lambda args, out, lo=lo, hi=hi: F.clip(args[0], lo, hi, out=out)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Bound-closure binders: op type -> (node -> kernel(args) -> [outputs])
+# ---------------------------------------------------------------------------
+_Binder = Callable[[OpNode], Callable[[List[np.ndarray]], List[np.ndarray]]]
+_BINDERS: Dict[str, _Binder] = {}
+
+
+def _binder(op_type: str) -> Callable[[_Binder], _Binder]:
+    def wrap(fn: _Binder) -> _Binder:
+        _BINDERS[op_type] = fn
+        return fn
+
+    return wrap
+
+
+@_binder("Conv")
+def _bind_conv(node: OpNode):
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    dilations = node.get_attr("dilations", [1, 1])
+    group = int(node.get_attr("group", 1))
+
+    def run(args):
+        bias = args[2] if len(args) > 2 else None
+        return [F.conv2d(args[0], args[1], bias, strides=strides, pads=pads,
+                         dilations=dilations, group=group)]
+
+    return run
+
+
+@_binder("ConvTranspose")
+def _bind_conv_transpose(node: OpNode):
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    output_padding = node.get_attr("output_padding", [0, 0])
+    group = int(node.get_attr("group", 1))
+
+    def run(args):
+        bias = args[2] if len(args) > 2 else None
+        return [F.conv_transpose2d(args[0], args[1], bias, strides=strides,
+                                   pads=pads, output_padding=output_padding,
+                                   group=group)]
+
+    return run
+
+
+def _bind_pool(fn, include_count: bool) -> _Binder:
+    def bind(node: OpNode):
+        kernel = node.get_attr("kernel_shape", [1, 1])
+        strides = node.get_attr("strides", [1, 1])
+        pads = node.get_attr("pads", [0, 0, 0, 0])
+        ceil_mode = bool(node.get_attr("ceil_mode", 0))
+        if include_count:
+            count = bool(node.get_attr("count_include_pad", 0))
+            return lambda args: [fn(args[0], kernel=kernel, strides=strides,
+                                    pads=pads, ceil_mode=ceil_mode,
+                                    count_include_pad=count)]
+        return lambda args: [fn(args[0], kernel=kernel, strides=strides,
+                                pads=pads, ceil_mode=ceil_mode)]
+
+    return bind
+
+
+_BINDERS["MaxPool"] = _bind_pool(F.max_pool2d, include_count=False)
+_BINDERS["AveragePool"] = _bind_pool(F.avg_pool2d, include_count=True)
+
+
+@_binder("Gemm")
+def _bind_gemm(node: OpNode):
+    alpha = float(node.get_attr("alpha", 1.0))
+    beta = float(node.get_attr("beta", 1.0))
+    trans_a = bool(node.get_attr("transA", 0))
+    trans_b = bool(node.get_attr("transB", 0))
+
+    def run(args):
+        c = args[2] if len(args) > 2 else None
+        return [F.gemm(args[0], args[1], c, alpha=alpha, beta=beta,
+                       trans_a=trans_a, trans_b=trans_b)]
+
+    return run
+
+
+@_binder("BatchNormalization")
+def _bind_batchnorm(node: OpNode):
+    epsilon = float(node.get_attr("epsilon", 1e-5))
+    return lambda args: [F.batch_norm(args[0], args[1], args[2], args[3],
+                                      args[4], epsilon=epsilon)]
+
+
+@_binder("LayerNormalization")
+def _bind_layernorm(node: OpNode):
+    axis = int(node.get_attr("axis", -1))
+    epsilon = float(node.get_attr("epsilon", 1e-5))
+
+    def run(args):
+        bias = args[2] if len(args) > 2 else None
+        return [F.layer_norm(args[0], args[1], bias, axis=axis, epsilon=epsilon)]
+
+    return run
+
+
+@_binder("InstanceNormalization")
+def _bind_instancenorm(node: OpNode):
+    epsilon = float(node.get_attr("epsilon", 1e-5))
+    return lambda args: [F.instance_norm(args[0], args[1], args[2], epsilon=epsilon)]
+
+
+def _bind_axis(fn, default_axis: int) -> _Binder:
+    def bind(node: OpNode):
+        axis = int(node.get_attr("axis", default_axis))
+        return lambda args: [fn(args[0], axis=axis)]
+
+    return bind
+
+
+_BINDERS["Softmax"] = _bind_axis(F.softmax, -1)
+_BINDERS["LogSoftmax"] = _bind_axis(F.log_softmax, -1)
+_BINDERS["Flatten"] = _bind_axis(F.flatten, 1)
+
+
+@_binder("LeakyRelu")
+def _bind_leaky_relu(node: OpNode):
+    alpha = float(node.get_attr("alpha", 0.01))
+    return lambda args: [F.leaky_relu(args[0], alpha=alpha)]
+
+
+@_binder("Elu")
+def _bind_elu(node: OpNode):
+    alpha = float(node.get_attr("alpha", 1.0))
+    return lambda args: [F.elu(args[0], alpha=alpha)]
+
+
+@_binder("HardSigmoid")
+def _bind_hard_sigmoid(node: OpNode):
+    alpha = float(node.get_attr("alpha", 0.2))
+    beta = float(node.get_attr("beta", 0.5))
+    return lambda args: [F.hard_sigmoid(args[0], alpha=alpha, beta=beta)]
+
+
+@_binder("Concat")
+def _bind_concat(node: OpNode):
+    axis = int(node.get_attr("axis", 0))
+    return lambda args: [F.concat(args, axis=axis)]
+
+
+@_binder("Transpose")
+def _bind_transpose(node: OpNode):
+    perm = node.get_attr("perm")
+    return lambda args: [F.transpose(args[0], perm)]
+
+
+@_binder("Gather")
+def _bind_gather(node: OpNode):
+    axis = int(node.get_attr("axis", 0))
+    return lambda args: [F.gather(args[0], args[1], axis=axis)]
+
+
+@_binder("Cast")
+def _bind_cast(node: OpNode):
+    to = node.get_attr("to", "float32")
+    return lambda args: [F.cast(args[0], to=to)]
+
+
+@_binder("Constant")
+def _bind_constant(node: OpNode):
+    value = node.get_attr("value")
+    if value is None:
+        raise PlanError(f"Constant node {node.name} has no value attribute")
+    array = np.asarray(value)
+    return lambda args: [array]
+
+
+@_binder("Reshape")
+def _bind_reshape(node: OpNode):
+    shape = node.get_attr("shape")
+    if shape is not None and len(node.present_inputs) == 1:
+        target = np.asarray(shape)
+        return lambda args: [F.reshape(args[0], target)]
+    return lambda args: [F.reshape(args[0], args[1])]
+
+
+# Attribute-free unary/binary ops bind straight to their kernel, skipping
+# even the generic handler indirection.
+for _op, _fn in _OUT_UNARY.items():
+    if _op not in _BINDERS:
+        _BINDERS[_op] = (lambda fn: (lambda node: (lambda args: [fn(args[0])])))(_fn)
+for _op, _fn in _OUT_BINARY.items():
+    if _op not in _BINDERS:
+        _BINDERS[_op] = (lambda fn: (lambda node: (lambda args: [fn(args[0], args[1])])))(_fn)
+
+
+def _bind_node(node: OpNode) -> Callable[[List[np.ndarray]], List[np.ndarray]]:
+    """Resolve a node into a bound kernel, falling back to the interpreter
+    handler (with its per-call attribute parsing) for the long tail."""
+    binder = _BINDERS.get(node.op_type)
+    if binder is not None:
+        return binder(node)
+    handler = _HANDLERS.get(node.op_type)
+    if handler is None:
+        raise PlanError(f"no handler for op {node.op_type!r} (node {node.name})")
+    return lambda args, node=node, handler=handler: handler(node, args)
+
+
+# ---------------------------------------------------------------------------
+# Buffer arena
+# ---------------------------------------------------------------------------
+class _Arena:
+    """Pools of reusable buffers keyed by ``(shape, dtype)`` slots.
+
+    Only buffers the arena itself allocated (or adopted after a first,
+    specializing run) are ever recycled; kernel-allocated arrays pass
+    through untouched.  Ownership is tracked with identity-checked weak
+    references so a garbage-collected buffer can never be confused with an
+    unrelated array that reuses its ``id``.
+    """
+
+    __slots__ = ("pools", "owned", "allocations", "reuses", "__weakref__")
+
+    def __init__(self) -> None:
+        self.pools: Dict[Tuple, List[np.ndarray]] = {}
+        self.owned: Dict[int, "weakref.ref"] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        pool = self.pools.get((shape, dtype))
+        if pool:
+            self.reuses += 1
+            return pool.pop()
+        self.allocations += 1
+        buffer = np.empty(shape, dtype)
+        self.adopt(buffer)
+        return buffer
+
+    def adopt(self, array: np.ndarray) -> None:
+        key = id(array)
+
+        def drop(ref, key=key, owned=self.owned):
+            if owned.get(key) is ref:
+                del owned[key]
+
+        self.owned[key] = weakref.ref(array, drop)
+
+    def is_owned(self, array: np.ndarray) -> bool:
+        ref = self.owned.get(id(array))
+        return ref is not None and ref() is array
+
+    def release(self, array: np.ndarray) -> None:
+        if self.is_owned(array):
+            self.pools.setdefault((array.shape, array.dtype), []).append(array)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "slots": len(self.pools),
+            "pooled": sum(len(pool) for pool in self.pools.values()),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Step construction
+# ---------------------------------------------------------------------------
+#: Buffers below this size are cheaper to malloc than to round-trip through
+#: the arena's bookkeeping; steps whose output is smaller stay on the plain
+#: allocating path (measured crossover is well under one 4 KB page).
+_ARENA_MIN_BYTES = 4096
+
+_MISSING = object()
+
+
+class _TailOp:
+    """One fused elementwise/activation op applied on the chain buffer.
+
+    The first execution under a given input signature runs out-of-place and
+    records whether the result matches the chain buffer's shape and dtype;
+    when it does, subsequent executions run in place on the chain buffer,
+    which is private to the fused step (the fused intermediate has exactly
+    one consumer and is not a graph output).  The last-seen signature is
+    kept in dedicated slots so the steady state compares shapes directly
+    instead of building a key tuple per call.
+    """
+
+    __slots__ = ("kernel", "other_name", "chain_first", "spec",
+                 "last_key", "last_in_place")
+
+    def __init__(self, kernel: Callable, other_name: Optional[str],
+                 chain_first: bool) -> None:
+        self.kernel = kernel
+        self.other_name = other_name
+        self.chain_first = chain_first
+        self.spec: Dict[Tuple, bool] = {}
+        self.last_key: Optional[Tuple] = None
+        self.last_in_place = False
+
+    def apply(self, values: Dict[str, np.ndarray], chain: np.ndarray) -> np.ndarray:
+        if self.other_name is None:
+            args = (chain,)
+            key = (chain.shape, chain.dtype)
+        else:
+            other = values[self.other_name]
+            args = (chain, other) if self.chain_first else (other, chain)
+            key = (chain.shape, chain.dtype, other.shape, other.dtype)
+        if key == self.last_key:
+            if self.last_in_place:
+                return self.kernel(args, chain)
+            return np.asarray(self.kernel(args, None))
+        in_place = self.spec.get(key, _MISSING)
+        if in_place is _MISSING:
+            result = np.asarray(self.kernel(args, None))
+            # In-place needs a real, matching ndarray destination — numpy
+            # scalars (e.g. a keepdims=0 reduction head) report shape/dtype
+            # but cannot be ``out=`` targets.
+            in_place = (type(chain) is np.ndarray
+                        and result.shape == chain.shape
+                        and result.dtype == chain.dtype)
+            self.spec[key] = in_place
+            self.last_key, self.last_in_place = key, in_place
+            return result
+        self.last_key, self.last_in_place = key, in_place
+        if in_place:
+            return self.kernel(args, chain)
+        return np.asarray(self.kernel(args, None))
+
+
+def _make_plain_head(kernel: Callable, in_names: Sequence[str]) -> Callable:
+    in_names = tuple(in_names)
+    if len(in_names) == 1:
+        name = in_names[0]
+        return lambda values: kernel([values[name]])[0]
+    return lambda values: kernel([values[n] for n in in_names])[0]
+
+
+def _make_arena_head(out_kernel: Callable, in_names: Sequence[str],
+                     arena: _Arena) -> Callable:
+    """A head that computes into an arena buffer once specialized.
+
+    The first run under an input signature executes without a destination
+    and records the observed output slot; when the output is big enough to
+    be worth recycling, the fresh result is adopted into the arena and
+    later runs under the same signature acquire a pooled buffer for the
+    slot and pass it as ``out=``.  Small outputs stay on the plain
+    allocating path — malloc is cheaper than arena bookkeeping there.
+    """
+    in_names = tuple(in_names)
+    spec: Dict[Tuple, Optional[Tuple]] = {}
+
+    def specialize(args, key):
+        result = np.asarray(out_kernel(args, None))
+        if result.nbytes >= _ARENA_MIN_BYTES:
+            spec[key] = (result.shape, result.dtype)
+            arena.adopt(result)
+        else:
+            spec[key] = None
+        return result
+
+    if len(in_names) == 1:
+        name = in_names[0]
+
+        def head(values):
+            a = values[name]
+            key = (a.shape, a.dtype)
+            slot = spec.get(key, _MISSING)
+            if slot is _MISSING:
+                return specialize((a,), key)
+            if slot is None:
+                return np.asarray(out_kernel((a,), None))
+            return out_kernel((a,), arena.acquire(*slot))
+    elif len(in_names) == 2:
+        name_a, name_b = in_names
+
+        def head(values):
+            a = values[name_a]
+            b = values[name_b]
+            key = (a.shape, a.dtype, b.shape, b.dtype)
+            slot = spec.get(key, _MISSING)
+            if slot is _MISSING:
+                return specialize((a, b), key)
+            if slot is None:
+                return np.asarray(out_kernel((a, b), None))
+            return out_kernel((a, b), arena.acquire(*slot))
+    else:
+        def head(values):
+            args = [values[n] for n in in_names]
+            key = tuple((a.shape, a.dtype) for a in args)
+            slot = spec.get(key, _MISSING)
+            if slot is _MISSING:
+                return specialize(args, key)
+            if slot is None:
+                return np.asarray(out_kernel(args, None))
+            return out_kernel(args, arena.acquire(*slot))
+
+    return head
+
+
+def _make_step(head: Callable, tail: List[_TailOp], out_name: str) -> Callable:
+    if not tail:
+        def step(values):
+            values[out_name] = head(values)
+    else:
+        def step(values):
+            chain = head(values)
+            for op in tail:
+                chain = op.apply(values, chain)
+            values[out_name] = chain
+    return step
+
+
+def _make_multi_step(kernel: Callable, in_names: Sequence[str],
+                     out_names: Sequence[str]) -> Callable:
+    in_names = tuple(in_names)
+    out_names = tuple(out_names)
+
+    def step(values):
+        results = kernel([values[n] for n in in_names])
+        for name, value in zip(out_names, results):
+            if name:
+                values[name] = value
+
+    return step
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+class ExecutionPlan:
+    """A precompiled, reusable execution schedule for one IR model.
+
+    Parameters
+    ----------
+    model:
+        An IR :class:`Model` or bare :class:`Graph`.
+    fuse:
+        Fuse single-consumer elementwise/activation tails into their
+        producer's step (disable for 1:1 node<->step tracing, e.g. when
+        profiling).
+    check_supported:
+        Raise at build time for ops without a handler.
+
+    A plan is cheap to build (one topological sort plus one closure per
+    node) and safe to run repeatedly; runs are serialized by an internal
+    lock because the buffer arena is per-plan state.
+    """
+
+    def __init__(self, model, fuse: bool = True, check_supported: bool = True) -> None:
+        self.graph: Graph = model.graph if isinstance(model, Model) else model
+        self.model_name = model.name if isinstance(model, Model) else self.graph.name
+        order = topological_sort_nodes(self.graph)
+        if check_supported:
+            missing = sorted({n.op_type for n in order} - set(_HANDLERS))
+            if missing:
+                raise PlanError(f"no handlers for ops: {missing}")
+        self._arena = _Arena()
+        self._lock = threading.Lock()
+        self._cluster_module = None
+        self.fused = fuse
+        self._build(order, fuse)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _build(self, order: List[OpNode], fuse: bool) -> None:
+        graph = self.graph
+        output_set = set(graph.output_names)
+        producer_index: Dict[str, int] = {}
+        uses: Dict[str, int] = {}
+        consumer: Dict[str, Tuple[int, OpNode]] = {}
+        for name in list(graph.input_names) + list(graph.initializers):
+            producer_index[name] = -1
+        for index, node in enumerate(order):
+            for name in node.present_inputs:
+                uses[name] = uses.get(name, 0) + 1
+                consumer[name] = (index, node)
+            for name in node.outputs:
+                if name:
+                    producer_index[name] = index
+        for name in output_set:
+            uses[name] = uses.get(name, 0) + 1
+
+        def single_output(node: OpNode) -> Optional[str]:
+            outs = [o for o in node.outputs if o]
+            return outs[0] if len(outs) == 1 else None
+
+        # -- fusion: absorb single-consumer out-capable tails ----------
+        max_tail = 8
+        absorbed: Dict[str, OpNode] = {}  # node name -> chain head node
+        chains: Dict[str, List[OpNode]] = {}
+        if fuse:
+            for index, node in enumerate(order):
+                if node.name in absorbed or node.op_type in _NONFUSABLE_HEADS:
+                    continue
+                head_out = single_output(node)
+                if head_out is None:
+                    continue
+                tail_nodes: List[OpNode] = []
+                current_out = head_out
+                while len(tail_nodes) < max_tail:
+                    if uses.get(current_out, 0) != 1 or current_out in output_set:
+                        break
+                    cons_index, cons = consumer[current_out]
+                    cons_out = single_output(cons)
+                    if cons_out is None or _out_kernel(cons) is None:
+                        break
+                    operands = cons.present_inputs
+                    if operands.count(current_out) != 1 or len(operands) > 2:
+                        break
+                    # Every other operand must already be computed when the
+                    # fused step runs at the head's position in the order.
+                    others = [n for n in operands if n != current_out]
+                    if any(producer_index.get(n, index) >= index for n in others):
+                        break
+                    tail_nodes.append(cons)
+                    absorbed[cons.name] = node
+                    current_out = cons_out
+                if tail_nodes:
+                    chains[node.name] = tail_nodes
+
+        # -- steps -----------------------------------------------------
+        steps: List[Callable] = []
+        step_nodes: List[List[OpNode]] = []
+        step_reads: List[List[str]] = []
+        step_writes: List[List[str]] = []
+        for node in order:
+            if node.name in absorbed:
+                continue
+            tail_nodes = chains.get(node.name, [])
+            nodes = [node] + tail_nodes
+            reads = list(node.present_inputs)
+            fused_away = {single_output(n) for n in nodes[:-1]} if tail_nodes else set()
+            for tail_node in tail_nodes:
+                reads.extend(n for n in tail_node.present_inputs
+                             if n not in fused_away)
+            final_out = single_output(nodes[-1])
+            writes = ([final_out] if tail_nodes
+                      else [o for o in node.outputs if o])
+            step_nodes.append(nodes)
+            step_reads.append(reads)
+            step_writes.append(writes)
+
+        # -- storage groups and liveness -------------------------------
+        storage_of: Dict[str, int] = {}
+        storage_owner: List[str] = []
+        storage_recyclable: List[bool] = []
+
+        def new_storage(name: str, recyclable: bool) -> int:
+            storage_of[name] = len(storage_owner)
+            storage_owner.append(name)
+            storage_recyclable.append(recyclable)
+            return storage_of[name]
+
+        for name in list(graph.input_names) + list(graph.initializers):
+            new_storage(name, recyclable=False)
+        for nodes, writes in zip(step_nodes, step_writes):
+            producer = nodes[-1] if len(nodes) > 1 else nodes[0]
+            for name in writes:
+                if producer.op_type in _ALIAS_OPS and producer.present_inputs:
+                    # Join the input's storage group so the whole group's
+                    # liveness governs recycling.  (The base is always known
+                    # here — fused intermediates have a single, non-alias
+                    # consumer — but fall back to a fresh non-recyclable
+                    # storage rather than corrupting the grouping.)
+                    base = producer.present_inputs[0]
+                    sid = storage_of.get(base)
+                    if sid is None:
+                        sid = new_storage(base, recyclable=False)
+                    storage_of[name] = sid
+                else:
+                    new_storage(name, recyclable=True)
+        for name in output_set:
+            sid = storage_of.get(name)
+            if sid is not None:
+                storage_recyclable[sid] = False
+
+        last_use: Dict[int, int] = {}
+        for step_index, (reads, writes) in enumerate(zip(step_reads, step_writes)):
+            for name in reads + writes:
+                sid = storage_of.get(name)
+                if sid is not None:
+                    last_use[sid] = step_index
+        release_after: List[List[str]] = [[] for _ in step_nodes]
+        for sid, step_index in last_use.items():
+            if storage_recyclable[sid]:
+                release_after[step_index].append(storage_owner[sid])
+
+        # -- compile steps to closures ---------------------------------
+        arena = self._arena
+        fused_node_count = 0
+        arena_step_count = 0
+        for nodes, writes in zip(step_nodes, step_writes):
+            node = nodes[0]
+            tail_nodes = nodes[1:]
+            if tail_nodes:
+                fused_node_count += len(tail_nodes)
+                tail = []
+                chain_value = single_output(node)
+                for tail_node in tail_nodes:
+                    kernel = _out_kernel(tail_node)
+                    operands = tail_node.present_inputs
+                    if len(operands) == 1:
+                        tail.append(_TailOp(kernel, None, True))
+                    else:
+                        chain_first = operands[0] == chain_value
+                        other = operands[1] if chain_first else operands[0]
+                        tail.append(_TailOp(kernel, other, chain_first))
+                    chain_value = single_output(tail_node)
+                head = self._make_head(node, writes[0], storage_of,
+                                       storage_recyclable)
+                if head is None:
+                    head = _make_plain_head(_bind_node(node), node.present_inputs)
+                else:
+                    arena_step_count += 1
+                steps.append(_make_step(head, tail, writes[0]))
+            else:
+                out_names = [o for o in node.outputs if o]
+                if len(out_names) == 1:
+                    head = self._make_head(node, out_names[0], storage_of,
+                                           storage_recyclable)
+                    if head is None:
+                        head = _make_plain_head(_bind_node(node),
+                                                node.present_inputs)
+                    else:
+                        arena_step_count += 1
+                    steps.append(_make_step(head, [], out_names[0]))
+                else:
+                    steps.append(_make_multi_step(_bind_node(node),
+                                                  node.present_inputs,
+                                                  node.outputs))
+
+        self._steps = steps
+        self._step_nodes = step_nodes
+        self._release_after = release_after
+        self._num_nodes = len(order)
+        self._fused_node_count = fused_node_count
+        self._arena_step_count = arena_step_count
+        self._init_values = dict(graph.initializers)
+        self._input_names = list(graph.input_names)
+        self._output_names = list(graph.output_names)
+
+    def _make_head(self, node: OpNode, out_name: str,
+                   storage_of: Dict[str, int],
+                   storage_recyclable: List[bool]) -> Optional[Callable]:
+        """An arena-backed head for out-capable nodes with recyclable
+        output storage, else None (caller falls back to a plain head)."""
+        kernel = _out_kernel(node)
+        if kernel is None:
+            return None
+        sid = storage_of.get(out_name)
+        if sid is None or not storage_recyclable[sid]:
+            return None
+        return _make_arena_head(kernel, node.present_inputs, self._arena)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        outputs: Optional[Sequence[str]] = None,
+        trace_hook: Optional[Callable[[OpNode, float], None]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the plan and return the requested outputs.
+
+        Mirrors :meth:`GraphExecutor.run`; ``trace_hook`` receives the
+        step's head node (build with ``fuse=False`` for exact per-node
+        attribution).  Values fused away into a producer's step cannot be
+        requested via ``outputs``.
+        """
+        with self._lock:
+            return self._run_locked(inputs, outputs, trace_hook)
+
+    def _run_locked(self, inputs, outputs, trace_hook) -> Dict[str, np.ndarray]:
+        values: Dict[str, np.ndarray] = dict(self._init_values)
+        for name in self._input_names:
+            if name not in inputs:
+                raise PlanError(f"missing graph input {name!r}")
+        for name, array in inputs.items():
+            values[name] = np.asarray(array)
+
+        steps = self._steps
+        release_after = self._release_after
+        arena = self._arena
+        step_index = 0
+        try:
+            if trace_hook is None:
+                for step_index in range(len(steps)):
+                    steps[step_index](values)
+                    released = release_after[step_index]
+                    if released:
+                        for owner in released:
+                            array = values.get(owner)
+                            if array is not None:
+                                arena.release(array)
+            else:
+                for step_index in range(len(steps)):
+                    start = time.perf_counter()
+                    steps[step_index](values)
+                    trace_hook(self._step_nodes[step_index][0],
+                               time.perf_counter() - start)
+                    released = release_after[step_index]
+                    if released:
+                        for owner in released:
+                            array = values.get(owner)
+                            if array is not None:
+                                arena.release(array)
+        except ExecutionError:
+            raise
+        except KeyError as exc:
+            nodes = self._step_nodes[step_index]
+            raise PlanError(
+                f"step for node {nodes[0].name} ({nodes[0].op_type}) requires "
+                f"value {exc} which has not been computed (it may have been "
+                "fused away)") from exc
+        except Exception as exc:  # noqa: BLE001 - augment with node context
+            nodes = self._step_nodes[step_index]
+            names = "+".join(n.name for n in nodes)
+            raise PlanError(
+                f"planned execution of {names} ({nodes[0].op_type}) failed: "
+                f"{exc}") from exc
+
+        wanted = list(outputs) if outputs is not None else self._output_names
+        missing = [name for name in wanted if name not in values]
+        if missing:
+            raise PlanError(
+                f"requested outputs not available from the plan: {missing} "
+                "(graph outputs are always available; fused intermediates "
+                "are not)")
+        result: Dict[str, np.ndarray] = {}
+        for name in wanted:
+            array = values[name]
+            # Never hand an arena-recycled buffer (or a view of one) to the
+            # caller — it would be overwritten by the next run.  Graph
+            # outputs are never arena-backed; this only triggers for
+            # explicitly requested intermediates.
+            if self._aliases_arena(array):
+                array = array.copy()
+            result[name] = array
+        return result
+
+    def _aliases_arena(self, array: np.ndarray) -> bool:
+        seen = 0
+        while array is not None and seen < 8:
+            if self._arena.is_owned(array):
+                return True
+            array = array.base
+            seen += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection / interop
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Plan shape and arena counters (allocations stay flat once warm)."""
+        return {
+            "model": self.model_name,
+            "nodes": self._num_nodes,
+            "steps": len(self._steps),
+            "fused_nodes": self._fused_node_count,
+            "arena_steps": self._arena_step_count,
+            "arena": self._arena.stats(),
+        }
+
+    def as_cluster_module(self):
+        """A single-cluster module shim so :class:`WarmExecutorPool` (and
+        ``execute_generated_module``-style drivers) can run a plan directly."""
+        if self._cluster_module is None:
+            plan = self
+
+            def run_cluster(inputs, weights, channels):  # noqa: ARG001
+                return plan.run(inputs)
+
+            self._cluster_module = types.SimpleNamespace(
+                MODEL_NAME=self.model_name,
+                CLUSTER_FUNCTIONS=[run_cluster],
+                CHANNEL_NAMES=[],
+                GRAPH_OUTPUTS=list(self._output_names),
+            )
+        return self._cluster_module
+
+
+def plan_model(model, fuse: bool = True) -> ExecutionPlan:
+    """Convenience constructor mirroring :func:`execute_model`'s shape."""
+    return ExecutionPlan(model, fuse=fuse)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.ir.model import Model
 from repro.ir.node import OpNode
 from repro.runtime.executor import GraphExecutor
+from repro.runtime.plan import ExecutionPlan
 
 
 @dataclasses.dataclass
@@ -87,6 +88,7 @@ def profile_model(
     inputs: Mapping[str, np.ndarray],
     num_runs: int = 3,
     warmup: int = 1,
+    engine: str = "interpreter",
 ) -> GraphProfile:
     """Measure per-node execution times of a model on given inputs.
 
@@ -101,8 +103,21 @@ def profile_model(
         allocation noise that the warmup does not absorb).
     warmup:
         Unmeasured warmup runs.
+    engine:
+        ``"interpreter"`` (default) profiles through :class:`GraphExecutor`;
+        ``"plan"`` reuses a compile-once, fusion-disabled
+        :class:`~repro.runtime.plan.ExecutionPlan`, so the per-node numbers
+        exclude the interpreter's dispatch/attribute-parsing overhead and
+        reflect what the planned serving hot path actually pays.  Fusion is
+        disabled so every step maps 1:1 onto a node.
     """
-    executor = GraphExecutor(model)
+    if engine == "plan":
+        executor = ExecutionPlan(model, fuse=False)
+    elif engine == "interpreter":
+        executor = GraphExecutor(model)
+    else:
+        raise ValueError(f"unknown profiling engine {engine!r}; "
+                         "use 'interpreter' or 'plan'")
     ops: Dict[str, OpProfile] = {}
 
     def hook(node: OpNode, seconds: float) -> None:

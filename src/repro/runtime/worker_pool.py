@@ -73,7 +73,9 @@ class WarmExecutorPool:
     ----------
     module:
         The generated parallel module (or a
-        :class:`repro.codegen.module_writer.GeneratedModule` wrapper).
+        :class:`repro.codegen.module_writer.GeneratedModule` wrapper, or an
+        :class:`repro.runtime.plan.ExecutionPlan`, which is adapted into a
+        single-cluster module via ``as_cluster_module()``).
     weights:
         Initializer values (``model.graph.initializers``); captured once at
         pool construction and shared by every run.
@@ -83,6 +85,9 @@ class WarmExecutorPool:
 
     def __init__(self, module, weights: Mapping[str, np.ndarray],
                  backend: str = "thread") -> None:
+        as_cluster_module = getattr(module, "as_cluster_module", None)
+        if as_cluster_module is not None:  # an ExecutionPlan
+            module = as_cluster_module()
         module = getattr(module, "module", module)
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")

@@ -4,13 +4,20 @@
 pipeline into a serving loop:
 
 1. **Compiled-artifact cache** — each (model fingerprint, pipeline config,
-   input signature) triple is compiled exactly once; the generated parallel
-   module plus a warm per-cluster worker pool are reused across requests
-   (:mod:`repro.serving.artifact_cache`, :mod:`repro.runtime.worker_pool`).
-2. **Dynamic micro-batching** — concurrent :meth:`InferenceEngine.submit`
+   input signature) triple is compiled exactly once; the compiled execution
+   state is reused across requests (:mod:`repro.serving.artifact_cache`).
+2. **Planned execution** — with the default ``executor="plan"`` every
+   request batch runs through a compile-once
+   :class:`~repro.runtime.plan.ExecutionPlan` (bound closures, buffer
+   arena, fused elementwise tails): no per-request ``GraphExecutor``
+   construction, no per-node dispatch, and a zero-realloc steady state.
+   ``executor="pool"`` instead serves via the generated parallel module on
+   a warm per-cluster worker pool (:mod:`repro.runtime.worker_pool`), the
+   paper-shaped multi-worker runtime.
+3. **Dynamic micro-batching** — concurrent :meth:`InferenceEngine.submit`
    calls against the same artifact are fused along the batch axis under a
    max-batch-size / max-wait policy (:mod:`repro.serving.batching`).
-3. **Metrics** — throughput, latency percentiles, batch-size histogram and
+4. **Metrics** — throughput, latency percentiles, batch-size histogram and
    cache hit rate (:mod:`repro.serving.metrics`), rendered by
    :func:`repro.analysis.reports.render_serving_report`.
 
@@ -43,6 +50,7 @@ from repro.pipeline import (
     model_fingerprint,
     ramiel_compile,
 )
+from repro.runtime.plan import ExecutionPlan
 from repro.runtime.process_runtime import execute_generated_module
 from repro.runtime.worker_pool import WarmExecutorPool
 from repro.serving.artifact_cache import ArtifactCache, ArtifactKey
@@ -70,7 +78,12 @@ class EngineConfig:
     #: compiled artifacts kept warm before LRU eviction; size it above the
     #: concurrently-served working set (model x config x signature triples)
     cache_capacity: int = 16
-    #: warm-pool backend: "thread" (default) or "process" (fork platforms)
+    #: request execution engine: "plan" (default — the compile-once
+    #: :class:`~repro.runtime.plan.ExecutionPlan` hot path) or "pool" (the
+    #: generated parallel module on a warm per-cluster worker pool)
+    executor: str = "plan"
+    #: warm-pool backend for executor="pool": "thread" (default) or
+    #: "process" (fork platforms)
     backend: str = "thread"
     #: per-batch execution watchdog
     timeout_s: float = 300.0
@@ -85,13 +98,21 @@ class EngineConfig:
 
 @dataclasses.dataclass
 class CompiledArtifact:
-    """One cached compilation: result, warm pool and batcher."""
+    """One cached compilation: result, execution state and batcher.
+
+    Exactly one of ``plan`` / ``pool`` is the serving substrate, selected by
+    :attr:`EngineConfig.executor`; requests never construct a fresh
+    ``GraphExecutor`` (or any other per-request execution state).
+    """
 
     key: ArtifactKey
     result: RamielResult
-    pool: WarmExecutorPool
     batcher: MicroBatcher
     compile_time_s: float
+    #: the compile-once planned executor (executor="plan")
+    plan: Optional[ExecutionPlan] = None
+    #: the warm per-cluster worker pool (executor="pool")
+    pool: Optional[WarmExecutorPool] = None
     #: whether concurrent requests may be fused along the batch axis (some
     #: generated code bakes the batch size into static reshapes — e.g.
     #: BERT's attention head splits — and must be served one request at a time)
@@ -103,9 +124,10 @@ class CompiledArtifact:
         return self.result.model.name
 
     def close(self) -> None:
-        """Shut down the batcher and the warm pool."""
+        """Shut down the batcher and the warm pool (if any)."""
         self.batcher.close()
-        self.pool.close()
+        if self.pool is not None:
+            self.pool.close()
 
 
 class InferenceEngine:
@@ -117,6 +139,9 @@ class InferenceEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
+        if self.config.executor not in ("plan", "pool"):
+            raise ServingError(
+                f"unknown executor {self.config.executor!r}; use 'plan' or 'pool'")
         self.metrics = ServingMetrics()
         self._config_fp = config_fingerprint(self.config.pipeline)
         self._cache = ArtifactCache(
@@ -197,6 +222,7 @@ class InferenceEngine:
         return {
             "model": model.name,
             "warmup_time_s": round(time.perf_counter() - start, 4),
+            "executor": self.config.executor,
             "batchable": artifact.batchable,
             "cached_artifacts": cache["size"],
             "compiles": self.metrics.snapshot()["cache"]["compiles"],
@@ -235,68 +261,86 @@ class InferenceEngine:
 
     def _compile(self, model: Model, key: ArtifactKey) -> CompiledArtifact:
         start = time.perf_counter()
+        use_plan = self.config.executor == "plan"
+        # The planned path executes the optimized model directly; generating
+        # the parallel module (and spawning its workers) is only needed for
+        # the pool executor.
         result = ramiel_compile(model, config=dataclasses.replace(
-            self.config.pipeline, generate_code=True))
-        batchable = self._probe_batchable(result, key.input_signature)
-        pool = WarmExecutorPool(result.parallel_module,
-                                result.optimized_model.graph.initializers,
-                                backend=self.config.backend)
-        compile_time = time.perf_counter() - start
-        self.metrics.record_compile(compile_time)
+            self.config.pipeline, generate_code=not use_plan, build_plan=use_plan))
         artifact_cell: list = []
 
-        def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-            try:
-                return pool.run(stacked, timeout=self.config.timeout_s)
-            except BaseException:
-                # A failed/timed-out run can leave workers wedged; drop the
-                # artifact so the next request recompiles instead of hitting
-                # a permanently broken pool.
-                if pool.broken and artifact_cell:
-                    self._cache.invalidate(key, expected=artifact_cell[0])
-                raise
+        if use_plan:
+            plan = result.plan()
+            pool = None
+
+            def run_once(feed: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                return plan.run(feed)
+
+            run_batch = run_once
+        else:
+            plan = None
+            pool = WarmExecutorPool(result.parallel_module,
+                                    result.optimized_model.graph.initializers,
+                                    backend=self.config.backend)
+
+            def run_once(feed: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                # One-shot thread driver so a probe failure cannot wedge the
+                # warm pool.
+                return execute_generated_module(
+                    result.parallel_module, feed,
+                    result.optimized_model.graph.initializers,
+                    backend="thread", timeout=self.config.timeout_s)
+
+            def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                try:
+                    return pool.run(stacked, timeout=self.config.timeout_s)
+                except BaseException:
+                    # A failed/timed-out run can leave workers wedged; drop
+                    # the artifact so the next request recompiles instead of
+                    # hitting a permanently broken pool.
+                    if pool.broken and artifact_cell:
+                        self._cache.invalidate(key, expected=artifact_cell[0])
+                    raise
+
+        batchable = self._probe_batchable(run_once, key.input_signature)
+        compile_time = time.perf_counter() - start
+        self.metrics.record_compile(compile_time)
 
         policy = (self.config.batch_policy() if batchable
                   else BatchPolicy(max_batch_size=1, max_wait_s=0.0))
         batcher = MicroBatcher(run_batch, policy=policy,
                                metrics=self.metrics,
                                label=f"{model.name}@{key.short()}")
-        artifact = CompiledArtifact(key=key, result=result, pool=pool,
-                                    batcher=batcher, compile_time_s=compile_time,
+        artifact = CompiledArtifact(key=key, result=result, plan=plan,
+                                    pool=pool, batcher=batcher,
+                                    compile_time_s=compile_time,
                                     batchable=batchable)
         artifact_cell.append(artifact)
         return artifact
 
-    def _probe_batchable(self, result: RamielResult, signature: Tuple) -> bool:
-        """Check whether the generated code tolerates batch-axis fusion.
+    def _probe_batchable(self, run_once, signature: Tuple) -> bool:
+        """Check whether the compiled artifact tolerates batch-axis fusion.
 
-        Runs the freshly generated module once on a single sample and once on
-        a stacked batch of two (with the one-shot thread driver, so a failure
-        cannot wedge the warm pool) and requires every output to carry the
-        batch on axis 0 with the first row matching the single-sample run.
-        Probe inputs are synthesized from the *request signature* the
-        artifact is keyed by — the exact shapes this artifact will serve —
-        not from the model's declared shapes, whose wildcard dims may differ.
-        Models whose generated code bakes the batch size into static shapes
-        (e.g. BERT's attention reshapes) fail the probe and are served one
-        request at a time — still cached and warm, just not fused.
+        Runs the artifact once on a single sample and once on a stacked
+        batch of two and requires every output to carry the batch on axis 0
+        with the first row matching the single-sample run.  Probe inputs are
+        synthesized from the *request signature* the artifact is keyed by —
+        the exact shapes this artifact will serve — not from the model's
+        declared shapes, whose wildcard dims may differ.  Models that bake
+        the batch size into static shapes (e.g. BERT's attention reshapes)
+        fail the probe and are served one request at a time — still cached
+        and warm, just not fused.
         """
         if self.config.max_batch_size <= 1:
             return False
-        weights = result.optimized_model.graph.initializers
-        module = result.parallel_module
         try:
             single = signature_inputs(signature, batch_size=1, seed=0)
             other = signature_inputs(signature, batch_size=1, seed=1)
             stacked = {name: np.concatenate([single[name], other[name]],
                                             axis=BATCH_AXIS)
                        for name in single}
-            reference = execute_generated_module(
-                module, single, weights, backend="thread",
-                timeout=self.config.timeout_s)
-            batched = execute_generated_module(
-                module, stacked, weights, backend="thread",
-                timeout=self.config.timeout_s)
+            reference = run_once(single)
+            batched = run_once(stacked)
         except BaseException:  # noqa: BLE001 - any failure means "do not fuse"
             return False
         for name, ref in reference.items():

@@ -1,0 +1,312 @@
+"""Tests for the planned execution engine (:mod:`repro.runtime.plan`).
+
+The plan is differentially tested against :class:`GraphExecutor`, the
+reference interpreter: outputs must be *bitwise* equal on every zoo model,
+on first (specializing) and subsequent (arena-reusing) runs alike.  The
+aliasing tests prove that buffer-arena reuse can never corrupt graph
+outputs, shared inputs or initializers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.models import MODEL_REGISTRY
+from repro.pipeline import PipelineConfig, ramiel_compile
+from repro.runtime import profile_model
+from repro.runtime.executor import GraphExecutor
+from repro.runtime.plan import ExecutionPlan, PlanError
+from repro.runtime.worker_pool import WarmExecutorPool
+from repro.serving.engine import example_inputs
+from tests.conftest import build_chain_model, build_diamond_model
+
+
+# ---------------------------------------------------------------------------
+# Differential correctness: plan == interpreter, bitwise, on the whole zoo
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_plan_bitwise_equals_interpreter_on_zoo(model_name):
+    model = MODEL_REGISTRY[model_name].build(variant="small")
+    feed = example_inputs(model, seed=7)
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    # Run 1 specializes (records shapes, adopts buffers), runs 2-3 hit the
+    # arena; all three must be bitwise-identical to the interpreter.
+    for _ in range(3):
+        outputs = plan.run(feed)
+        assert set(outputs) == set(reference)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_plan_without_fusion_bitwise_equals_interpreter():
+    model = build_diamond_model()
+    feed = example_inputs(model, seed=3)
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model, fuse=False)
+    for _ in range(2):
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_plan_handles_varying_batch_sizes():
+    """Each input signature specializes independently and stays correct."""
+    model = build_chain_model()
+    plan = ExecutionPlan(model)
+    executor = GraphExecutor(model)
+    for batch in (1, 3, 1, 3, 2):
+        feed = example_inputs(model, batch_size=batch, seed=batch)
+        expected = executor.run(feed)
+        outputs = plan.run(feed)
+        for name, ref in expected.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_plan_rejects_missing_inputs_and_unknown_outputs():
+    model = build_diamond_model()
+    plan = ExecutionPlan(model)
+    with pytest.raises(PlanError, match="missing graph input"):
+        plan.run({})
+    feed = example_inputs(model)
+    with pytest.raises(PlanError, match="not available"):
+        plan.run(feed, outputs=["no_such_value"])
+
+
+def test_plan_checks_supported_ops_at_build_time():
+    b = GraphBuilder("custom", seed=0)
+    x = b.input("x", (1, 4))
+    out = b.node("TotallyCustomOp", [x])
+    b.output(out)
+    with pytest.raises(PlanError, match="no handlers"):
+        ExecutionPlan(b.build(validate=False, infer=False))
+
+
+# ---------------------------------------------------------------------------
+# Fusion and arena behaviour
+# ---------------------------------------------------------------------------
+def test_plan_fuses_elementwise_tails():
+    model = build_diamond_model()  # conv->relu pairs throughout
+    plan = ExecutionPlan(model)
+    stats = plan.stats()
+    assert stats["fused_nodes"] > 0
+    assert stats["steps"] < stats["nodes"]
+    unfused = ExecutionPlan(model, fuse=False)
+    assert unfused.stats()["fused_nodes"] == 0
+    assert unfused.stats()["steps"] == unfused.stats()["nodes"]
+
+
+def test_arena_reaches_zero_alloc_steady_state():
+    """After the specializing run, repeated runs allocate nothing new."""
+    model = MODEL_REGISTRY["yolo_v5"].build(variant="small")
+    feed = example_inputs(model, seed=0)
+    plan = ExecutionPlan(model)
+    plan.run(feed)
+    plan.run(feed)  # arena is warm after the first reuse pass
+    warm = plan.stats()["arena"]["allocations"]
+    for _ in range(3):
+        plan.run(feed)
+    assert plan.stats()["arena"]["allocations"] == warm
+    assert plan.stats()["arena"]["reuses"] > 0
+
+
+def test_trace_hook_reports_every_node_when_unfused():
+    model = build_diamond_model()
+    plan = ExecutionPlan(model, fuse=False)
+    seen = []
+    plan.run(example_inputs(model), trace_hook=lambda node, s: seen.append(node.name))
+    assert sorted(seen) == sorted(n.name for n in model.graph.nodes)
+
+
+def test_profiler_plan_engine_matches_interpreter_node_set():
+    model = build_diamond_model()
+    feed = example_inputs(model)
+    via_plan = profile_model(model, feed, num_runs=2, warmup=1, engine="plan")
+    via_interp = profile_model(model, feed, num_runs=2, warmup=1)
+    assert set(via_plan.ops) == set(via_interp.ops)
+    assert all(op.samples_s for op in via_plan.ops.values())
+    with pytest.raises(ValueError, match="unknown profiling engine"):
+        profile_model(model, feed, engine="turbo")
+
+
+# ---------------------------------------------------------------------------
+# Aliasing safety: arena reuse must never corrupt user-visible arrays
+# ---------------------------------------------------------------------------
+def test_inputs_and_initializers_survive_repeated_runs():
+    model = build_diamond_model()
+    feed = example_inputs(model, seed=5)
+    snapshots = {name: array.copy() for name, array in feed.items()}
+    weights = {name: array.copy()
+               for name, array in model.graph.initializers.items()}
+    plan = ExecutionPlan(model)
+    for _ in range(3):
+        plan.run(feed)
+    for name, snap in snapshots.items():
+        np.testing.assert_array_equal(feed[name], snap)
+    for name, snap in weights.items():
+        np.testing.assert_array_equal(model.graph.initializers[name], snap)
+
+
+def test_outputs_of_successive_runs_do_not_share_memory():
+    model = build_diamond_model()
+    plan = ExecutionPlan(model)
+    first = plan.run(example_inputs(model, seed=1))
+    first_copies = {name: array.copy() for name, array in first.items()}
+    second = plan.run(example_inputs(model, seed=2))
+    for name in first:
+        assert not np.shares_memory(first[name], second[name])
+        # run 2 must not have clobbered run 1's returned buffers
+        np.testing.assert_array_equal(first[name], first_copies[name])
+
+
+def test_value_feeding_multiple_consumers_is_not_corrupted():
+    """A shared intermediate read by two branches survives in-place tails."""
+    b = GraphBuilder("shared", seed=0)
+    x = b.input("x", (1, 8))
+    y = b.node("Relu", [x])          # shared by both branches and an output
+    left = b.node("Add", [y, y])
+    right = b.node("Mul", [y, y])
+    z = b.node("Sub", [left, right])
+    b.output(z)
+    b.output(y)
+    model = b.build()
+    feed = {"x": np.random.default_rng(0).standard_normal((1, 8)).astype(np.float32)}
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    for _ in range(3):
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_view_chains_do_not_recycle_live_storage():
+    """Reshape/transpose views keep their base storage alive in the arena."""
+    b = GraphBuilder("views", seed=0)
+    x = b.input("x", (2, 3, 4))
+    doubled = b.node("Add", [x, x])              # arena-eligible producer
+    flat = b.node("Reshape", [doubled], shape=[2, 12])   # view of it
+    bumped = b.node("Add", [flat, flat])
+    b.output(bumped)
+    b.output(flat)
+    model = b.build()
+    feed = {"x": np.arange(24, dtype=np.float32).reshape(2, 3, 4)}
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    for _ in range(4):
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_constant_nodes_never_head_fused_chains():
+    """Regression: fusing an in-place tail onto a Constant head would write
+    through the binder's cached array, corrupting every later run."""
+    b = GraphBuilder("const_chain", seed=0)
+    x = b.input("x", (1, 4))
+    const = b.node("Constant", [], value=np.full((1, 4), 2.0, dtype=np.float32))
+    negated = b.node("Neg", [const])      # single consumer of the constant
+    out = b.node("Add", [x, negated])
+    b.output(out)
+    model = b.build(validate=False, infer=False)
+    feed = {"x": np.zeros((1, 4), dtype=np.float32)}
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    for _ in range(4):  # the corruption only surfaced from run 3 onward
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_alias_group_storage_actually_recycles():
+    """A buffer whose only escape is a dead view must return to the arena."""
+    b = GraphBuilder("alias_recycle", seed=0)
+    x = b.input("x", (1, 4096))
+    doubled = b.node("Add", [x, x])                 # arena-eligible, >4 KB
+    flat = b.node("Reshape", [doubled], shape=[4096])  # view; last use of both
+    total = b.node("ReduceSum", [flat], keepdims=0)
+    anchor = b.node("Sub", [x, x])                  # keeps a second slot live
+    out = b.node("Add", [total, b.node("ReduceSum", [anchor], keepdims=0)])
+    b.output(out)
+    model = b.build()
+    feed = {"x": np.ones((1, 4096), dtype=np.float32)}
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    for _ in range(3):
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+    stats = plan.stats()["arena"]
+    assert stats["reuses"] > 0, (
+        "the Add buffer dies with its Reshape view and must be recycled; "
+        f"arena stats: {stats}")
+
+
+def test_fused_tail_on_scalar_chain_value_stays_out_of_place():
+    """Regression: a keepdims=0 reduction head hands its tail a numpy
+    scalar, which reports shape/dtype but cannot be an ``out=`` target."""
+    b = GraphBuilder("scalar_chain", seed=0)
+    x = b.input("x", (1, 8))
+    first = b.node("ReduceSum", [x], keepdims=0)   # numpy scalar at runtime
+    second = b.node("ReduceMax", [x], keepdims=0)
+    shifted = b.node("Add", [second, first])       # fusable tail on the scalar
+    b.output(shifted)
+    model = b.build()
+    feed = {"x": np.arange(8, dtype=np.float32).reshape(1, 8)}
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    for _ in range(3):  # run 2+ would have hit the in-place TypeError
+        outputs = plan.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_requested_intermediates_are_copied_out_of_the_arena():
+    """Explicitly requested arena-backed values must survive the next run."""
+    model = build_chain_model()
+    plan = ExecutionPlan(model, fuse=False)  # keep every intermediate addressable
+    inner = model.graph.nodes[1].outputs[0]
+    feed = example_inputs(model, seed=0)
+    expected = GraphExecutor(model).run(feed, outputs=[inner])[inner]
+    got = plan.run(feed, outputs=[inner])[inner]
+    snapshot = got.copy()
+    plan.run(example_inputs(model, seed=9))
+    np.testing.assert_array_equal(got, snapshot)
+    np.testing.assert_array_equal(got, expected)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline / worker-pool integration
+# ---------------------------------------------------------------------------
+def test_ramiel_compile_carries_an_execution_plan():
+    model = build_diamond_model()
+    result = ramiel_compile(model)
+    assert result.execution_plan is not None
+    assert result.plan() is result.execution_plan  # cached, not rebuilt
+    assert "plan" in result.stage_times_s
+    feed = example_inputs(model, seed=4)
+    np.testing.assert_array_equal(
+        list(result.run_planned(feed).values())[0],
+        list(GraphExecutor(result.optimized_model).run(feed).values())[0])
+
+
+def test_pipeline_build_plan_can_be_disabled_then_built_lazily():
+    model = build_diamond_model()
+    result = ramiel_compile(model, config=PipelineConfig(build_plan=False,
+                                                         generate_code=False))
+    assert result.execution_plan is None
+    assert result.plan() is not None  # lazy build on demand
+
+
+def test_warm_executor_pool_runs_plans():
+    model = build_diamond_model()
+    feed = example_inputs(model, seed=6)
+    reference = GraphExecutor(model).run(feed)
+    plan = ExecutionPlan(model)
+    with WarmExecutorPool(plan, model.graph.initializers) as pool:
+        assert pool.num_clusters == 1
+        for _ in range(2):
+            outputs = pool.run(feed, timeout=60.0)
+            for name, ref in reference.items():
+                np.testing.assert_array_equal(outputs[name], ref)

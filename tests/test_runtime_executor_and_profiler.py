@@ -46,6 +46,44 @@ class TestExecutor:
         with pytest.raises(ExecutionError, match="no handlers"):
             GraphExecutor(model)
 
+    def test_average_pool_defaults_to_onnx_count_include_pad(self, rng):
+        """Regression: AveragePool with no count_include_pad attribute must
+        use the ONNX default (0 — padding excluded from the divisor)."""
+        import repro.runtime.functional as F
+
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        b = GraphBuilder("avgpool_default", seed=0)
+        xin = b.input("x", (1, 2, 5, 5))
+        out = b.node("AveragePool", [xin], kernel_shape=[3, 3],
+                     strides=[1, 1], pads=[1, 1, 1, 1])
+        b.output(out)
+        (got,) = execute_model(b.build(), {"x": x}).values()
+        expected = F.avg_pool2d(x, (3, 3), (1, 1), pads=(1, 1, 1, 1),
+                                count_include_pad=False)
+        np.testing.assert_array_equal(got, expected)
+        # corner windows only see 4 real elements; with the old default the
+        # divisor was 9, so the two conventions genuinely differ here
+        included = F.avg_pool2d(x, (3, 3), (1, 1), pads=(1, 1, 1, 1),
+                                count_include_pad=True)
+        assert not np.allclose(got, included)
+        np.testing.assert_allclose(got[0, :, 0, 0], x[0, :, :2, :2].mean(axis=(1, 2)),
+                                   rtol=1e-6)
+
+    def test_average_pool_attribute_still_honoured(self, rng):
+        """count_include_pad=1 on the node keeps the include-pad divisor."""
+        import repro.runtime.functional as F
+
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        b = GraphBuilder("avgpool_incl", seed=0)
+        xin = b.input("x", (1, 1, 4, 4))
+        out = b.node("AveragePool", [xin], kernel_shape=[2, 2],
+                     strides=[2, 2], pads=[1, 1, 1, 1], count_include_pad=1)
+        b.output(out)
+        (got,) = execute_model(b.build(), {"x": x}).values()
+        expected = F.avg_pool2d(x, (2, 2), (2, 2), pads=(1, 1, 1, 1),
+                                count_include_pad=True)
+        np.testing.assert_array_equal(got, expected)
+
     def test_trace_hook_called_per_node(self, diamond_model, rng):
         x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
         seen = []

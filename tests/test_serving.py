@@ -393,7 +393,7 @@ class TestInferenceEngine:
     def test_broken_pool_is_invalidated_and_recompiled(self):
         """A wedged warm pool must not poison the artifact forever."""
         model = build_diamond_model()
-        with tiny_engine() as engine:
+        with tiny_engine(executor="pool") as engine:
             feed = example_inputs(model)
             engine.infer(model, feed)
             arrays, _, signature = engine._validate(model, feed)
@@ -420,6 +420,76 @@ class TestInferenceEngine:
             outputs = engine.infer(model, feed)  # must not raise BatcherClosed
             assert outputs
             assert engine.metrics.snapshot()["cache"]["compiles"] == 2
+
+    def test_pool_executor_serves_correctly(self):
+        """The warm-pool execution path stays a first-class alternative."""
+        model = build_diamond_model()
+        reference = ramiel_compile(model)
+        with tiny_engine(executor="pool") as engine:
+            feed = example_inputs(model, seed=2)
+            outputs = engine.infer(model, feed)
+            expected = reference.run_sequential(feed)
+            for name, ref in expected.items():
+                np.testing.assert_allclose(outputs[name], ref, rtol=1e-5, atol=1e-6)
+            arrays, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            assert artifact.pool is not None and artifact.plan is None
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(RuntimeError, match="executor"):
+            InferenceEngine(EngineConfig(executor="bogus"))
+
+    def test_plan_executor_routes_requests_through_execution_plan(self):
+        """Default serving executes via the cached ExecutionPlan."""
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            arrays, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            assert artifact.plan is not None
+            assert artifact.pool is None
+            # the artifact's plan is the compiled result's plan, built once
+            assert artifact.plan is artifact.result.execution_plan
+            runs_before = artifact.plan.stats()["arena"]["reuses"]
+            engine.infer(model, feed)
+            assert artifact.plan.stats()["arena"]["reuses"] >= runs_before
+
+    def test_no_per_request_graph_executor_construction(self, monkeypatch):
+        """Serving requests must not build fresh GraphExecutors (or plans).
+
+        The interpreter is only allowed during compilation (constant
+        folding); once the artifact is warm, N requests construct zero
+        GraphExecutors and zero ExecutionPlans.
+        """
+        import repro.runtime.executor as executor_mod
+        import repro.runtime.plan as plan_mod
+
+        model = build_diamond_model()
+        counters = {"executor": 0, "plan": 0}
+        orig_executor_init = executor_mod.GraphExecutor.__init__
+        orig_plan_init = plan_mod.ExecutionPlan.__init__
+
+        def counting_executor_init(self, *args, **kwargs):
+            counters["executor"] += 1
+            return orig_executor_init(self, *args, **kwargs)
+
+        def counting_plan_init(self, *args, **kwargs):
+            counters["plan"] += 1
+            return orig_plan_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(executor_mod.GraphExecutor, "__init__",
+                            counting_executor_init)
+        monkeypatch.setattr(plan_mod.ExecutionPlan, "__init__",
+                            counting_plan_init)
+        with tiny_engine() as engine:
+            engine.warmup(model)
+            counters["executor"] = 0
+            counters["plan"] = 0
+            for seed in range(4):
+                engine.infer(model, example_inputs(model, seed=seed))
+        assert counters["executor"] == 0
+        assert counters["plan"] == 0
 
     def test_failed_requests_excluded_from_latency_percentiles(self):
         def run_batch(stacked):
