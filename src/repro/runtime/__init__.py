@@ -33,6 +33,7 @@ from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
 from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
 from repro.runtime.plan import ExecutionPlan, PlanError, plan_model
 from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
+from repro.runtime.tensor_utils import Workspace
 from repro.runtime.worker_pool import WarmExecutorPool
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "PlanError",
     "plan_model",
     "WarmExecutorPool",
+    "Workspace",
     "intra_op_threads",
     "get_num_threads",
     "set_num_threads",

@@ -5,16 +5,146 @@ convolution is implemented as an im2col lowering followed by one matrix
 multiplication per group, which keeps all the arithmetic inside BLAS and
 makes the per-op runtime roughly proportional to the static cost weights
 used by :class:`repro.graph.cost_model.CostModel`.
+
+All heavy entry points are **destination-passing**: ``out=`` receives the
+result and ``workspace=`` provides the im2col column matrix, the padded
+input and the post-GEMM staging buffer, so a warm serving loop runs the
+whole conv allocation-free.  The reshaped/pre-transposed ``(C*KH*KW, M)``
+GEMM weight matrices are derived once per weight array (weights are plan
+constants) and cached under an identity-checked weak reference, for the
+grouped path too.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import weakref
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime.intra_op import parallel_over_batch
-from repro.runtime.tensor_utils import as_pair, im2col, normalize_pads
+from repro.runtime.intra_op import get_num_threads, parallel_over_batch
+from repro.runtime.tensor_utils import (
+    as_pair,
+    conv_output_hw,
+    im2col,
+    normalize_pads,
+    padded_shape,
+    reset_workspace,
+    scratch,
+)
+
+
+class _DerivedWeightCache:
+    """Identity-keyed cache of matrices derived from a weight array.
+
+    Weights are long-lived graph initializers, so layouts derived from them
+    (the per-group transposed GEMM matrices, the flipped transpose-conv
+    kernel) are computed once per array instead of per call.  Entries are
+    keyed by ``id()`` and guarded by a weak reference, so a dead weight can
+    never be confused with an unrelated array that reuses its address, and
+    the cache never keeps weights alive.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+
+    def get(self, weight: np.ndarray, key, build):
+        entry = self._entries.get(id(weight))
+        if entry is not None and entry[0]() is weight:
+            derived = entry[1]
+        else:
+            address = id(weight)
+
+            def drop(ref, address=address, entries=self._entries):
+                current = entries.get(address)
+                if current is not None and current[0] is ref:
+                    del entries[address]
+
+            derived = {}
+            self._entries[address] = (weakref.ref(weight, drop), derived)
+        value = derived.get(key)
+        if value is None:
+            value = derived[key] = build()
+        return value
+
+
+_WEIGHT_CACHE = _DerivedWeightCache()
+
+
+def _gemm_weight_mats(weight: np.ndarray, group: int) -> List[np.ndarray]:
+    """Per-group contiguous ``(C/g*KH*KW, M/g)`` matrices for the im2col GEMM."""
+    m = weight.shape[0]
+    m_per_group = m // group
+
+    def build() -> List[np.ndarray]:
+        return [
+            np.ascontiguousarray(
+                weight[g * m_per_group:(g + 1) * m_per_group].reshape(m_per_group, -1).T)
+            for g in range(group)
+        ]
+
+    return _WEIGHT_CACHE.get(weight, ("gemm_mats", group), build)
+
+
+def _conv_forward(
+    batch: np.ndarray,
+    weight: np.ndarray,
+    w_mats: List[np.ndarray],
+    strides: Tuple[int, int],
+    pads: Sequence[int],
+    dilations: Tuple[int, int],
+    group: int,
+    out: Optional[np.ndarray],
+    workspace,
+) -> np.ndarray:
+    """Convolve one (sub-)batch, writing the NCHW result into ``out``."""
+    n = batch.shape[0]
+    m, c_per_group, kh, kw = weight.shape
+    oh, ow = conv_output_hw(batch.shape[2:], (kh, kw), strides, pads, dilations)
+    out_shape = (n, m, oh, ow)
+    if out is None:
+        dest = np.empty(out_shape, dtype=np.float32)
+    else:
+        if out.shape != out_shape or out.dtype != np.float32:
+            raise ValueError(
+                f"conv2d out buffer has shape {out.shape}/{out.dtype}, "
+                f"expected {out_shape}/float32")
+        if (not out.flags.c_contiguous
+                or np.may_share_memory(out, batch)
+                or np.may_share_memory(out, weight)):
+            # Compute into a private contiguous buffer, then copy: the
+            # destination either overlaps an operand (so in-place scatter
+            # would corrupt later groups' reads) or cannot take the strided
+            # NHWC->NCHW copy pattern directly.
+            staging = scratch(workspace, out_shape)
+            _conv_forward(batch, weight, w_mats, strides, pads, dilations,
+                          group, staging, workspace)
+            np.copyto(out, staging)
+            return out
+        dest = out
+    m_per_group = m // group
+    rows = n * oh * ow
+    # Scratch shapes are identical for every group, so the padded input,
+    # column matrix and GEMM staging buffer are leased once and reused
+    # across the whole group loop.
+    pad_buf = None
+    if any(pads):
+        pad_buf = scratch(workspace, padded_shape(
+            (n, c_per_group, batch.shape[2], batch.shape[3]), pads))
+    cols = scratch(workspace, (rows, c_per_group * kh * kw))
+    prod = scratch(workspace, (rows, m_per_group))
+    for g in range(group):
+        xs = batch if group == 1 else batch[:, g * c_per_group:(g + 1) * c_per_group]
+        im2col(xs, (kh, kw), strides, pads, dilations, out=cols, pad_out=pad_buf)
+        # GEMM lands in the contiguous NHWC staging matrix; the NCHW
+        # finalization is a single strided copy straight into the
+        # destination slice (no concatenate, no ascontiguousarray).
+        np.matmul(cols, w_mats[g], out=prod)
+        dst = dest if group == 1 else dest[:, g * m_per_group:(g + 1) * m_per_group]
+        np.copyto(dst, prod.reshape(n, oh, ow, m_per_group).transpose(0, 3, 1, 2))
+    return dest
 
 
 def conv2d(
@@ -25,6 +155,8 @@ def conv2d(
     pads: Sequence[int] = (0, 0, 0, 0),
     dilations: Sequence[int] = (1, 1),
     group: int = 1,
+    out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """2D convolution with ONNX ``Conv`` semantics.
 
@@ -35,10 +167,19 @@ def conv2d(
     weight:
         Filters, shape ``(M, C/group, KH, KW)``.
     bias:
-        Optional per-output-channel bias of shape ``(M,)``.
+        Optional per-output-channel bias of shape ``(M,)``; added in place
+        on the result buffer.
     strides, pads, dilations, group:
         Standard convolution hyper-parameters; ``pads`` is
         ``[top, left, bottom, right]`` (a 2-element form is accepted).
+    out:
+        Optional destination of shape ``(N, M, OH, OW)`` (float32).  May
+        alias ``x``; the op then stages through scratch before writing.
+    workspace:
+        Optional scratch provider (see
+        :class:`repro.runtime.tensor_utils.Workspace`) for the padded
+        input, im2col columns and post-GEMM staging buffers.  It is reset
+        before the call returns.
     """
     x = np.asarray(x, dtype=np.float32)
     weight = np.asarray(weight, dtype=np.float32)
@@ -55,34 +196,38 @@ def conv2d(
     strides = as_pair(strides)
     dilations = as_pair(dilations)
     pads = normalize_pads(list(pads))
-
-    def _convolve(batch: np.ndarray) -> np.ndarray:
-        if group == 1:
-            cols, (oh, ow) = im2col(batch, (kh, kw), strides, pads, dilations)
-            w_mat = weight.reshape(m, -1)
-            out = cols @ w_mat.T
-            out = out.reshape(batch.shape[0], oh, ow, m).transpose(0, 3, 1, 2)
-        else:
-            out_groups = []
-            m_per_group = m // group
-            oh = ow = None
-            for g in range(group):
-                xs = batch[:, g * c_per_group:(g + 1) * c_per_group]
-                ws = weight[g * m_per_group:(g + 1) * m_per_group]
-                cols, (oh, ow) = im2col(xs, (kh, kw), strides, pads, dilations)
-                res = cols @ ws.reshape(m_per_group, -1).T
-                out_groups.append(
-                    res.reshape(batch.shape[0], oh, ow, m_per_group).transpose(0, 3, 1, 2)
-                )
-            out = np.concatenate(out_groups, axis=1)
-        return np.ascontiguousarray(out)
-
-    out = parallel_over_batch(_convolve, x)
+    w_mats = _gemm_weight_mats(weight, group)
     if bias is not None:
-        # The convolution result is a fresh float32 buffer, so the bias can
-        # broadcast-add in place instead of allocating a second output.
-        np.add(out, np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1), out=out)
-    return out.astype(np.float32, copy=False)
+        bias = np.asarray(bias, dtype=np.float32)
+        if out is not None and np.may_share_memory(out, bias):
+            bias = bias.copy()  # the convolution would overwrite it first
+
+    try:
+        if get_num_threads() > 1 and n > 1:
+            # The intra-op path shards the batch and concatenates; chunks
+            # compute without destinations, then land in ``out`` at the end.
+            def _convolve(chunk: np.ndarray) -> np.ndarray:
+                return _conv_forward(chunk, weight, w_mats, strides, pads,
+                                     dilations, group, None, None)
+
+            result = parallel_over_batch(_convolve, x)
+            if out is not None:
+                if out.shape != result.shape or out.dtype != result.dtype:
+                    raise ValueError(
+                        f"conv2d out buffer has shape {out.shape}/{out.dtype}, "
+                        f"expected {result.shape}/{result.dtype}")
+                np.copyto(out, result)
+                result = out
+        else:
+            result = _conv_forward(x, weight, w_mats, strides, pads,
+                                   dilations, group, out, workspace)
+        if bias is not None:
+            # The destination is exclusively ours at this point, so the
+            # bias broadcast-adds in place instead of allocating.
+            np.add(result, bias.reshape(1, -1, 1, 1), out=result)
+        return result
+    finally:
+        reset_workspace(workspace)
 
 
 def conv_transpose2d(
@@ -93,12 +238,16 @@ def conv_transpose2d(
     pads: Sequence[int] = (0, 0, 0, 0),
     output_padding: Sequence[int] = (0, 0),
     group: int = 1,
+    out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """Transposed convolution (a.k.a. deconvolution), ONNX ``ConvTranspose``.
 
     Implemented by scattering the input into a zero-dilated buffer and then
     running a regular convolution with the spatially-flipped kernel.  Only
-    ``group == 1`` is supported, which covers the model zoo's usage.
+    ``group == 1`` is supported, which covers the model zoo's usage.  The
+    flipped kernel is cached per weight array; ``out=``/``workspace=``
+    behave as in :func:`conv2d`.
     """
     if int(group) != 1:
         raise NotImplementedError("conv_transpose2d only supports group=1")
@@ -111,20 +260,33 @@ def conv_transpose2d(
     sh, sw = as_pair(strides)
     pads = normalize_pads(list(pads))
     oph, opw = as_pair(output_padding)
-
-    # Scatter input with stride-1 zeros between elements.
-    dilated_h = (h - 1) * sh + 1
-    dilated_w = (w - 1) * sw + 1
-    buf = np.zeros((n, c, dilated_h, dilated_w), dtype=np.float32)
-    buf[:, :, ::sh, ::sw] = x
-
-    # Full correlation with flipped kernel == transposed convolution.
-    flipped = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (M, C, KH, KW)
-    full_pads = [kh - 1 - pads[0], kw - 1 - pads[1], kh - 1 - pads[2] + oph, kw - 1 - pads[3] + opw]
-    out = conv2d(buf, flipped, bias=None, strides=(1, 1), pads=full_pads)
     if bias is not None:
-        out = out + np.asarray(bias, dtype=np.float32).reshape(1, -1, 1, 1)
-    return out
+        bias = np.asarray(bias, dtype=np.float32)
+        if out is not None and np.may_share_memory(out, bias):
+            bias = bias.copy()  # the convolution would overwrite it first
+
+    try:
+        # Scatter input with stride-1 zeros between elements.
+        dilated_h = (h - 1) * sh + 1
+        dilated_w = (w - 1) * sw + 1
+        buf = scratch(workspace, (n, c, dilated_h, dilated_w))
+        buf.fill(0.0)
+        buf[:, :, ::sh, ::sw] = x
+
+        # Full correlation with flipped kernel == transposed convolution.
+        flipped = _WEIGHT_CACHE.get(
+            weight, "flipped",
+            lambda: np.ascontiguousarray(
+                weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)))  # (M, C, KH, KW)
+        full_pads = [kh - 1 - pads[0], kw - 1 - pads[1],
+                     kh - 1 - pads[2] + oph, kw - 1 - pads[3] + opw]
+        result = conv2d(buf, flipped, bias=None, strides=(1, 1), pads=full_pads,
+                        out=out, workspace=workspace)
+        if bias is not None:
+            np.add(result, bias.reshape(1, -1, 1, 1), out=result)
+        return result
+    finally:
+        reset_workspace(workspace)
 
 
 def depthwise_conv2d(
@@ -134,11 +296,13 @@ def depthwise_conv2d(
     strides: Sequence[int] = (1, 1),
     pads: Sequence[int] = (1, 1, 1, 1),
     dilations: Sequence[int] = (1, 1),
+    out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """Depthwise convolution: one filter per input channel (group == C)."""
     channels = x.shape[1]
     return conv2d(x, weight, bias, strides=strides, pads=pads, dilations=dilations,
-                  group=channels)
+                  group=channels, out=out, workspace=workspace)
 
 
 def conv1d(

@@ -1,4 +1,13 @@
-"""Dense linear-algebra operators (MatMul / Gemm / Linear)."""
+"""Dense linear-algebra operators (MatMul / Gemm / Linear).
+
+All three entry points take an optional ``out=`` destination so the planned
+execution engine (and any caller that owns a result buffer) can run them
+allocation-free: the product lands in ``out`` via ``np.matmul(..., out=)``
+and the epilogue (``alpha`` scale, ``beta * C`` / bias add) is applied in
+place.  A destination that is non-contiguous or overlaps an operand is
+staged through a temporary so BLAS always sees a clean output buffer and
+results are bitwise-identical to the ``out=None`` path.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +16,28 @@ from typing import Optional
 import numpy as np
 
 
-def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _matmul_into(a: np.ndarray, b: np.ndarray,
+                 out: Optional[np.ndarray]) -> np.ndarray:
+    if out is None:
+        return np.matmul(a, b)
+    if (not out.flags.c_contiguous
+            or np.may_share_memory(out, a)
+            or np.may_share_memory(out, b)):
+        result = np.matmul(a, b)
+        if out.shape != result.shape or out.dtype != result.dtype:
+            raise ValueError(
+                f"matmul out buffer has shape {out.shape}/{out.dtype}, "
+                f"expected {result.shape}/{result.dtype}")
+        np.copyto(out, result)
+        return out
+    return np.matmul(a, b, out=out)
+
+
+def matmul(a: np.ndarray, b: np.ndarray,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
     """Batched matrix multiplication with numpy broadcasting semantics."""
-    return np.matmul(np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32))
+    return _matmul_into(np.asarray(a, dtype=np.float32),
+                        np.asarray(b, dtype=np.float32), out)
 
 
 def gemm(
@@ -20,26 +48,56 @@ def gemm(
     beta: float = 1.0,
     trans_a: bool = False,
     trans_b: bool = False,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """ONNX ``Gemm``: ``alpha * A' @ B' + beta * C`` on 2D operands."""
+    """ONNX ``Gemm``: ``alpha * A' @ B' + beta * C`` on 2D operands.
+
+    The product is computed straight into the destination and the scale /
+    bias epilogue runs in place — no ``alpha * (a @ b)`` temporary, and the
+    ``beta == 1`` case (the ONNX default, used throughout the zoo) adds
+    ``C`` without one either.  Only ``beta`` outside ``{0, 1}`` scales
+    ``C`` into a C-sized temporary, to keep results bitwise-identical to
+    the unfused expression.
+    """
     a = np.asarray(a, dtype=np.float32)
     b = np.asarray(b, dtype=np.float32)
     if trans_a:
         a = a.T
     if trans_b:
         b = b.T
-    out = alpha * (a @ b)
     if c is not None and beta != 0.0:
-        out = out + beta * np.asarray(c, dtype=np.float32)
-    return out.astype(np.float32, copy=False)
+        c = np.asarray(c, dtype=np.float32)
+        if out is not None and np.may_share_memory(out, c):
+            # The product would overwrite C before the epilogue reads it.
+            c = c.copy()
+    result = _matmul_into(a, b, out)
+    if alpha != 1.0:
+        np.multiply(result, np.float32(alpha), out=result)
+    if c is not None and beta != 0.0:
+        if beta == 1.0:
+            np.add(result, c, out=result)
+        else:
+            np.add(result, c * np.float32(beta), out=result)
+    return result
 
 
-def linear(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
-    """Dense layer ``x @ W + b`` where W has shape (in_features, out_features)."""
-    out = np.matmul(np.asarray(x, dtype=np.float32), np.asarray(weight, dtype=np.float32))
+def linear(x: np.ndarray, weight: np.ndarray,
+           bias: Optional[np.ndarray] = None,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense layer ``x @ W + b`` where W has shape (in_features, out_features).
+
+    The bias broadcast-adds in place on the product buffer instead of
+    allocating a second output.
+    """
     if bias is not None:
-        out = out + np.asarray(bias, dtype=np.float32)
-    return out
+        bias = np.asarray(bias, dtype=np.float32)
+        if out is not None and np.may_share_memory(out, bias):
+            bias = bias.copy()  # the product would overwrite it first
+    result = _matmul_into(np.asarray(x, dtype=np.float32),
+                          np.asarray(weight, dtype=np.float32), out)
+    if bias is not None:
+        np.add(result, bias, out=result)
+    return result
 
 
 def einsum(equation: str, *operands: np.ndarray) -> np.ndarray:

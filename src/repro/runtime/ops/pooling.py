@@ -1,41 +1,91 @@
-"""Pooling operators (max / average / global), ONNX semantics, NCHW layout."""
+"""Pooling operators (max / average / global), ONNX semantics, NCHW layout.
+
+``max_pool2d`` / ``avg_pool2d`` are destination-passing: the window
+reduction lands directly in ``out=`` and the padded input comes from the
+caller's ``workspace=``, so a warm loop allocates nothing.  The
+average-pool divisor grid (which depends only on spatial geometry, not on
+data) is computed once per geometry and cached.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime.tensor_utils import as_pair, normalize_pads, pad_nchw, sliding_windows
+from repro.runtime.tensor_utils import (
+    as_pair,
+    normalize_pads,
+    pad_nchw,
+    padded_shape,
+    reset_workspace,
+    scratch,
+    sliding_windows,
+)
 
 
-def _pool_common(
-    x: np.ndarray,
+def _pool_geometry(
+    shape: Tuple[int, ...],
     kernel: Sequence[int],
     strides: Sequence[int],
     pads: Sequence[int],
     ceil_mode: bool,
-    pad_value: float,
-) -> np.ndarray:
-    """Pad (with optional ceil-mode extension) and return sliding windows."""
-    x = np.asarray(x, dtype=np.float32)
-    if x.ndim != 4:
-        raise ValueError(f"pooling expects a 4D NCHW tensor, got shape {x.shape}")
+) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int, int, int]]:
+    """Resolved ``(kernel, strides, pads)`` incl. the ceil-mode extension."""
     kh, kw = as_pair(kernel)
     sh, sw = as_pair(strides)
     top, left, bottom, right = normalize_pads(list(pads))
     if ceil_mode:
         # Extend the bottom/right padding so the last partial window is kept.
-        h = x.shape[2] + top + bottom
-        w = x.shape[3] + left + right
+        h = shape[2] + top + bottom
+        w = shape[3] + left + right
         rem_h = (h - kh) % sh
         rem_w = (w - kw) % sw
         if rem_h:
             bottom += sh - rem_h
         if rem_w:
             right += sw - rem_w
-    x_p = pad_nchw(x, (top, left, bottom, right), value=pad_value)
+    return (kh, kw), (sh, sw), (top, left, bottom, right)
+
+
+def _pool_windows(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    strides: Sequence[int],
+    pads: Sequence[int],
+    ceil_mode: bool,
+    pad_value: float,
+    workspace=None,
+) -> np.ndarray:
+    """Pad (with optional ceil-mode extension) and return sliding windows."""
+    if x.ndim != 4:
+        raise ValueError(f"pooling expects a 4D NCHW tensor, got shape {x.shape}")
+    (kh, kw), (sh, sw), full_pads = _pool_geometry(x.shape, kernel, strides,
+                                                   pads, ceil_mode)
+    pad_buf = None
+    if any(full_pads):
+        pad_buf = scratch(workspace, padded_shape(x.shape, full_pads))
+    x_p = pad_nchw(x, full_pads, value=pad_value, out=pad_buf)
     return sliding_windows(x_p, (kh, kw), (sh, sw))
+
+
+def _pool_dest(windows: np.ndarray, x: np.ndarray,
+               out: Optional[np.ndarray], workspace):
+    """Resolve the reduction destination; stage when ``out`` overlaps ``x``.
+
+    Returns ``(dest, final_out)``: reduce into ``dest``, and when the two
+    differ copy ``dest`` into ``final_out`` afterwards.
+    """
+    out_shape = windows.shape[:4]
+    if out is None:
+        return np.empty(out_shape, dtype=np.float32), None
+    if out.shape != out_shape or out.dtype != np.float32:
+        raise ValueError(
+            f"pooling out buffer has shape {out.shape}/{out.dtype}, "
+            f"expected {out_shape}/float32")
+    if np.may_share_memory(out, windows):
+        return scratch(workspace, out_shape), out
+    return out, None
 
 
 def max_pool2d(
@@ -44,10 +94,51 @@ def max_pool2d(
     strides: Sequence[int] = (1, 1),
     pads: Sequence[int] = (0, 0, 0, 0),
     ceil_mode: bool = False,
+    out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """2D max pooling (padding contributes ``-inf`` so it never wins)."""
-    windows = _pool_common(x, kernel, strides, pads, ceil_mode, pad_value=-np.inf)
-    return np.ascontiguousarray(windows.max(axis=(4, 5)).astype(np.float32))
+    x = np.asarray(x, dtype=np.float32)
+    try:
+        windows = _pool_windows(x, kernel, strides, pads, ceil_mode,
+                                pad_value=-np.inf, workspace=workspace)
+        dest, final_out = _pool_dest(windows, x, out, workspace)
+        np.max(windows, axis=(4, 5), out=dest)
+        if final_out is not None:
+            np.copyto(final_out, dest)
+            return final_out
+        return dest
+    finally:
+        reset_workspace(workspace)
+
+
+#: Average-pool divisor grids keyed by spatial geometry.  The divisor only
+#: depends on (H, W) and the pooling hyper-parameters — not on batch,
+#: channels or data — so it is computed on a (1, 1, H, W) ones tensor once
+#: and broadcast against every subsequent call with the same geometry.
+_DIVISOR_CACHE: Dict[Tuple, np.ndarray] = {}
+_DIVISOR_CACHE_MAX = 128
+
+
+def _avg_pool_divisors(
+    spatial: Tuple[int, int],
+    kernel: Sequence[int],
+    strides: Sequence[int],
+    pads: Sequence[int],
+    ceil_mode: bool,
+) -> np.ndarray:
+    key = (spatial, as_pair(kernel), as_pair(strides),
+           tuple(normalize_pads(list(pads))), bool(ceil_mode))
+    counts = _DIVISOR_CACHE.get(key)
+    if counts is None:
+        ones = np.ones((1, 1) + spatial, dtype=np.float32)
+        windows = _pool_windows(ones, kernel, strides, pads, ceil_mode,
+                                pad_value=0.0)
+        counts = np.maximum(windows.sum(axis=(4, 5)), 1.0)
+        if len(_DIVISOR_CACHE) >= _DIVISOR_CACHE_MAX:
+            _DIVISOR_CACHE.clear()
+        _DIVISOR_CACHE[key] = counts
+    return counts
 
 
 def avg_pool2d(
@@ -57,6 +148,8 @@ def avg_pool2d(
     pads: Sequence[int] = (0, 0, 0, 0),
     ceil_mode: bool = False,
     count_include_pad: bool = False,
+    out: Optional[np.ndarray] = None,
+    workspace=None,
 ) -> np.ndarray:
     """2D average pooling.
 
@@ -65,14 +158,24 @@ def avg_pool2d(
     Pass ``count_include_pad=True`` for models exported with
     ``count_include_pad=1``, where padding zeros participate in the mean.
     """
-    windows = _pool_common(x, kernel, strides, pads, ceil_mode, pad_value=0.0)
-    if count_include_pad:
-        return np.ascontiguousarray(windows.mean(axis=(4, 5)).astype(np.float32))
-    ones = np.ones_like(np.asarray(x, dtype=np.float32))
-    counts = _pool_common(ones, kernel, strides, pads, ceil_mode, pad_value=0.0).sum(axis=(4, 5))
-    sums = windows.sum(axis=(4, 5))
-    counts = np.maximum(counts, 1.0)
-    return np.ascontiguousarray((sums / counts).astype(np.float32))
+    x = np.asarray(x, dtype=np.float32)
+    try:
+        windows = _pool_windows(x, kernel, strides, pads, ceil_mode,
+                                pad_value=0.0, workspace=workspace)
+        dest, final_out = _pool_dest(windows, x, out, workspace)
+        if count_include_pad:
+            np.mean(windows, axis=(4, 5), out=dest)
+        else:
+            counts = _avg_pool_divisors(x.shape[2:], kernel, strides, pads,
+                                        ceil_mode)
+            np.sum(windows, axis=(4, 5), out=dest)
+            np.divide(dest, counts, out=dest)
+        if final_out is not None:
+            np.copyto(final_out, dest)
+            return final_out
+        return dest
+    finally:
+        reset_workspace(workspace)
 
 
 def global_avg_pool2d(x: np.ndarray) -> np.ndarray:

@@ -21,7 +21,15 @@ The plan does that work once at build time instead:
 * single-consumer elementwise/activation tails (``Conv -> Add -> Relu`` and
   friends) are **fused** into their producer's step and applied in place on
   the producer's output buffer via the ``out=`` destination-passing support
-  of :mod:`repro.runtime.functional`.
+  of :mod:`repro.runtime.functional`;
+* the **heavy operators** — conv (incl. grouped/depthwise/transposed),
+  GEMM/MatMul and the pooling kernels — also run destination-passing:
+  their outputs come from the same liveness-managed arena, and their
+  internal scratch (padded input, im2col columns, post-GEMM staging) is
+  leased per call from arena-backed per-node workspaces, shared across
+  nodes by ``(shape, dtype)`` slot.  Weight-derived GEMM layouts are
+  cached per initializer array, so the warm hot path is allocation-free
+  end to end, heavy ops included.
 
 Because every step calls the same :mod:`repro.runtime.functional` kernels as
 the interpreter — only with precomputed arguments and destinations — plan
@@ -89,6 +97,134 @@ _OUT_BINARY: Dict[str, Callable] = {
     "Add": F.add, "Sub": F.sub, "Mul": F.mul, "Div": F.div, "Pow": F.pow_,
     "Mod": F.mod, "Min": F.minimum, "Max": F.maximum,
 }
+
+
+class _ArenaWorkspace:
+    """Scratch provider backed by the plan's buffer arena.
+
+    Implements the ``take``/``reset`` protocol of
+    :class:`repro.runtime.tensor_utils.Workspace`, but leases buffers from
+    the shared ``(shape, dtype)`` arena pools — so the im2col columns,
+    padded inputs and GEMM staging buffers of *different* nodes share
+    storage whenever their slots match, and the warm steady state performs
+    zero scratch allocations.  Heavy kernels reset the workspace before
+    returning, which releases every leased buffer back to the arena.
+    """
+
+    __slots__ = ("_arena", "_taken")
+
+    def __init__(self, arena: "_Arena") -> None:
+        self._arena = arena
+        self._taken: List[np.ndarray] = []
+
+    def take(self, shape, dtype=np.float32) -> np.ndarray:
+        buffer = self._arena.acquire(tuple(int(s) for s in shape),
+                                     np.dtype(dtype))
+        self._taken.append(buffer)
+        return buffer
+
+    def reset(self) -> None:
+        taken, self._taken = self._taken, []
+        for buffer in taken:
+            self._arena.release(buffer)
+
+
+# ---------------------------------------------------------------------------
+# Heavy destination-passing kernels: op type -> (node, arena) -> kernel
+# ---------------------------------------------------------------------------
+#: Makers for the heavy operators (conv / GEMM / pooling) that accept an
+#: ``out=`` destination plus an arena-backed ``workspace=`` scratch
+#: provider.  Together with the elementwise ``_OUT_*`` tables these make
+#: every step of a typical CNN destination-passing, extending the
+#: zero-realloc property to the kernels that dominate the cost model.
+_HeavyMaker = Callable[[OpNode, "_Arena"], Callable]
+_HEAVY_MAKERS: Dict[str, _HeavyMaker] = {}
+
+
+def _heavy(op_type: str) -> Callable[[_HeavyMaker], _HeavyMaker]:
+    def wrap(fn: _HeavyMaker) -> _HeavyMaker:
+        _HEAVY_MAKERS[op_type] = fn
+        return fn
+
+    return wrap
+
+
+@_heavy("Conv")
+def _heavy_conv(node: OpNode, arena: "_Arena") -> Callable:
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    dilations = node.get_attr("dilations", [1, 1])
+    group = int(node.get_attr("group", 1))
+    ws = _ArenaWorkspace(arena)
+
+    def kernel(args, out):
+        bias = args[2] if len(args) > 2 else None
+        return F.conv2d(args[0], args[1], bias, strides=strides, pads=pads,
+                        dilations=dilations, group=group, out=out, workspace=ws)
+
+    return kernel
+
+
+@_heavy("ConvTranspose")
+def _heavy_conv_transpose(node: OpNode, arena: "_Arena") -> Callable:
+    strides = node.get_attr("strides", [1, 1])
+    pads = node.get_attr("pads", [0, 0, 0, 0])
+    output_padding = node.get_attr("output_padding", [0, 0])
+    group = int(node.get_attr("group", 1))
+    ws = _ArenaWorkspace(arena)
+
+    def kernel(args, out):
+        bias = args[2] if len(args) > 2 else None
+        return F.conv_transpose2d(args[0], args[1], bias, strides=strides,
+                                  pads=pads, output_padding=output_padding,
+                                  group=group, out=out, workspace=ws)
+
+    return kernel
+
+
+@_heavy("Gemm")
+def _heavy_gemm(node: OpNode, arena: "_Arena") -> Callable:  # noqa: ARG001
+    alpha = float(node.get_attr("alpha", 1.0))
+    beta = float(node.get_attr("beta", 1.0))
+    trans_a = bool(node.get_attr("transA", 0))
+    trans_b = bool(node.get_attr("transB", 0))
+
+    def kernel(args, out):
+        c = args[2] if len(args) > 2 else None
+        return F.gemm(args[0], args[1], c, alpha=alpha, beta=beta,
+                      trans_a=trans_a, trans_b=trans_b, out=out)
+
+    return kernel
+
+
+@_heavy("MatMul")
+def _heavy_matmul(node: OpNode, arena: "_Arena") -> Callable:  # noqa: ARG001
+    return lambda args, out: F.matmul(args[0], args[1], out=out)
+
+
+def _heavy_pool(fn, include_count: bool) -> _HeavyMaker:
+    def make(node: OpNode, arena: "_Arena") -> Callable:
+        kernel_shape = node.get_attr("kernel_shape", [1, 1])
+        strides = node.get_attr("strides", [1, 1])
+        pads = node.get_attr("pads", [0, 0, 0, 0])
+        ceil_mode = bool(node.get_attr("ceil_mode", 0))
+        ws = _ArenaWorkspace(arena)
+        if include_count:
+            count = bool(node.get_attr("count_include_pad", 0))
+            return lambda args, out: fn(args[0], kernel=kernel_shape,
+                                        strides=strides, pads=pads,
+                                        ceil_mode=ceil_mode,
+                                        count_include_pad=count,
+                                        out=out, workspace=ws)
+        return lambda args, out: fn(args[0], kernel=kernel_shape,
+                                    strides=strides, pads=pads,
+                                    ceil_mode=ceil_mode, out=out, workspace=ws)
+
+    return make
+
+
+_HEAVY_MAKERS["MaxPool"] = _heavy_pool(F.max_pool2d, include_count=False)
+_HEAVY_MAKERS["AveragePool"] = _heavy_pool(F.avg_pool2d, include_count=True)
 
 
 def _out_kernel(node: OpNode) -> Optional[Callable]:
@@ -546,13 +682,20 @@ class ExecutionPlan:
         profiling).
     check_supported:
         Raise at build time for ops without a handler.
+    heavy_out:
+        Route the heavy operators (conv / GEMM / pooling) through their
+        destination-passing kernels with arena-backed workspaces.  Disable
+        to get the PR-3-era behaviour where heavy nodes allocate their
+        outputs and scratch per run (used as the baseline by the
+        throughput benchmark).
 
     A plan is cheap to build (one topological sort plus one closure per
     node) and safe to run repeatedly; runs are serialized by an internal
     lock because the buffer arena is per-plan state.
     """
 
-    def __init__(self, model, fuse: bool = True, check_supported: bool = True) -> None:
+    def __init__(self, model, fuse: bool = True, check_supported: bool = True,
+                 heavy_out: bool = True) -> None:
         self.graph: Graph = model.graph if isinstance(model, Model) else model
         self.model_name = model.name if isinstance(model, Model) else self.graph.name
         order = topological_sort_nodes(self.graph)
@@ -564,6 +707,7 @@ class ExecutionPlan:
         self._lock = threading.Lock()
         self._cluster_module = None
         self.fused = fuse
+        self.heavy_out = heavy_out
         self._build(order, fuse)
 
     # ------------------------------------------------------------------
@@ -693,9 +837,9 @@ class ExecutionPlan:
                 release_after[step_index].append(storage_owner[sid])
 
         # -- compile steps to closures ---------------------------------
-        arena = self._arena
         fused_node_count = 0
-        arena_step_count = 0
+        self._arena_step_count = 0
+        self._heavy_step_count = 0
         for nodes, writes in zip(step_nodes, step_writes):
             node = nodes[0]
             tail_nodes = nodes[1:]
@@ -717,8 +861,6 @@ class ExecutionPlan:
                                        storage_recyclable)
                 if head is None:
                     head = _make_plain_head(_bind_node(node), node.present_inputs)
-                else:
-                    arena_step_count += 1
                 steps.append(_make_step(head, tail, writes[0]))
             else:
                 out_names = [o for o in node.outputs if o]
@@ -728,8 +870,6 @@ class ExecutionPlan:
                     if head is None:
                         head = _make_plain_head(_bind_node(node),
                                                 node.present_inputs)
-                    else:
-                        arena_step_count += 1
                     steps.append(_make_step(head, [], out_names[0]))
                 else:
                     steps.append(_make_multi_step(_bind_node(node),
@@ -741,22 +881,44 @@ class ExecutionPlan:
         self._release_after = release_after
         self._num_nodes = len(order)
         self._fused_node_count = fused_node_count
-        self._arena_step_count = arena_step_count
         self._init_values = dict(graph.initializers)
         self._input_names = list(graph.input_names)
         self._output_names = list(graph.output_names)
+        self._storage_of = storage_of
 
     def _make_head(self, node: OpNode, out_name: str,
                    storage_of: Dict[str, int],
                    storage_recyclable: List[bool]) -> Optional[Callable]:
-        """An arena-backed head for out-capable nodes with recyclable
-        output storage, else None (caller falls back to a plain head)."""
+        """A destination-passing head for out-capable nodes, else None
+        (caller falls back to a plain bound-binder head).
+
+        Elementwise/activation nodes and — when ``heavy_out`` is on — the
+        heavy conv/GEMM/pooling nodes compute into liveness-managed arena
+        buffers.  A heavy node whose output storage is not recyclable
+        (e.g. a graph output, which must stay private to the caller) still
+        gets a destination-passing head without an ``out=``: its workspace
+        scratch stays arena-backed and its cached weight layouts apply.
+        """
         kernel = _out_kernel(node)
+        heavy = False
+        if kernel is None and self.heavy_out:
+            maker = _HEAVY_MAKERS.get(node.op_type)
+            if maker is not None:
+                kernel = maker(node, self._arena)
+                heavy = True
         if kernel is None:
             return None
         sid = storage_of.get(out_name)
         if sid is None or not storage_recyclable[sid]:
-            return None
+            if not heavy:
+                return None  # the plain binder path is equivalent
+            in_names = tuple(node.present_inputs)
+            self._heavy_step_count += 1
+            return lambda values: np.asarray(
+                kernel([values[n] for n in in_names], None))
+        self._arena_step_count += 1
+        if heavy:
+            self._heavy_step_count += 1
         return _make_arena_head(kernel, node.present_inputs, self._arena)
 
     # ------------------------------------------------------------------
@@ -786,8 +948,19 @@ class ExecutionPlan:
         for name, array in inputs.items():
             values[name] = np.asarray(array)
 
+        # Storages of explicitly requested intermediates must not recycle
+        # during *this* run: a later step sharing their (shape, dtype)
+        # slot would overwrite them before the end-of-run copy-out.
+        # (Graph outputs are never recyclable, so the common case computes
+        # nothing here.)
+        pinned: Optional[set] = None
+        if outputs is not None:
+            pinned = {self._storage_of[name] for name in outputs
+                      if name in self._storage_of} or None
+
         steps = self._steps
         release_after = self._release_after
+        storage_of = self._storage_of
         arena = self._arena
         step_index = 0
         try:
@@ -797,6 +970,8 @@ class ExecutionPlan:
                     released = release_after[step_index]
                     if released:
                         for owner in released:
+                            if pinned is not None and storage_of[owner] in pinned:
+                                continue
                             array = values.get(owner)
                             if array is not None:
                                 arena.release(array)
@@ -809,6 +984,8 @@ class ExecutionPlan:
                     released = release_after[step_index]
                     if released:
                         for owner in released:
+                            if pinned is not None and storage_of[owner] in pinned:
+                                continue
                             array = values.get(owner)
                             if array is not None:
                                 arena.release(array)
@@ -866,6 +1043,7 @@ class ExecutionPlan:
             "steps": len(self._steps),
             "fused_nodes": self._fused_node_count,
             "arena_steps": self._arena_step_count,
+            "heavy_steps": self._heavy_step_count,
             "arena": self._arena.stats(),
         }
 

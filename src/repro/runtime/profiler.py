@@ -57,6 +57,15 @@ class GraphProfile:
     num_runs: int
     ops: Dict[str, OpProfile]
     wall_time_s: float
+    #: which engine produced the samples ("interpreter" or "plan")
+    engine: str = "interpreter"
+    #: final arena counters when profiling through the planned engine
+    #: (allocations / reuses / slots / pooled), else None
+    arena_stats: Optional[Dict[str, int]] = None
+    #: new arena buffer acquisitions during the *measured* runs (after
+    #: warmup); 0 means the profiled hot path was allocation-free — the
+    #: expected steady state once every signature has specialized
+    arena_allocs_during_runs: Optional[int] = None
 
     def cost_provider(self, scale: float = 1e6) -> Dict[str, float]:
         """Node-name -> measured cost mapping for the schedule simulator.
@@ -129,14 +138,23 @@ def profile_model(
     for _ in range(max(warmup, 0)):
         executor.run(inputs)
 
+    allocs_before = (executor.stats()["arena"]["allocations"]
+                     if engine == "plan" else None)
     start = time.perf_counter()
     for _ in range(max(num_runs, 1)):
         executor.run(inputs, trace_hook=hook)
     wall = time.perf_counter() - start
 
-    return GraphProfile(
+    profile = GraphProfile(
         model_name=model.name,
         num_runs=max(num_runs, 1),
         ops=ops,
         wall_time_s=wall,
+        engine=engine,
     )
+    if engine == "plan":
+        stats = executor.stats()
+        profile.arena_stats = stats["arena"]
+        profile.arena_allocs_during_runs = (
+            stats["arena"]["allocations"] - allocs_before)
+    return profile

@@ -4,26 +4,148 @@ Following the HPC-Python guidance used for this project, the hot paths
 (convolution, pooling) avoid Python-level loops over pixels: convolution is
 lowered to an im2col transform followed by a single GEMM, and pooling uses
 a strided sliding-window view so the reduction happens inside numpy.
+
+The helpers here support **destination passing**: callers that already own
+correctly sized buffers (the planned execution engine's arena, or a
+:class:`Workspace`) pass them via ``out=`` so the steady state allocates
+nothing.  With ``out=None`` behaviour is identical to the allocating path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 
-def pad_nchw(x: np.ndarray, pads: Sequence[int], value: float = 0.0) -> np.ndarray:
-    """Pad an NCHW tensor with an ONNX-style ``[top, left, bottom, right]`` spec."""
+class Workspace:
+    """Reusable scratch-buffer provider for destination-passing operators.
+
+    ``take(shape, dtype)`` leases an *uninitialized* buffer; ``reset()``
+    returns every leased buffer to the internal ``(shape, dtype)`` pools.
+    Two ``take`` calls between resets always return distinct buffers, so an
+    operator can safely hold several same-shaped scratch arrays at once.
+
+    Operators that accept ``workspace=`` reset it before returning, which
+    means one :class:`Workspace` can serve a whole inference loop with a
+    bounded, steady-state set of buffers::
+
+        ws = Workspace()
+        for batch in batches:
+            y = F.conv2d(batch, w, out=y, workspace=ws)   # zero-realloc once warm
+
+    The planned execution engine substitutes an arena-backed provider with
+    the same ``take``/``reset`` protocol so scratch buffers are shared
+    across nodes by slot.
+    """
+
+    __slots__ = ("_pools", "_taken", "allocations", "reuses")
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple, List[np.ndarray]] = {}
+        self._taken: List[np.ndarray] = []
+        self.allocations = 0
+        self.reuses = 0
+
+    def take(self, shape: Sequence[int], dtype=np.float32) -> np.ndarray:
+        key = (tuple(int(s) for s in shape), np.dtype(dtype))
+        pool = self._pools.get(key)
+        if pool:
+            buffer = pool.pop()
+            self.reuses += 1
+        else:
+            buffer = np.empty(key[0], key[1])
+            self.allocations += 1
+        self._taken.append(buffer)
+        return buffer
+
+    def reset(self) -> None:
+        taken, self._taken = self._taken, []
+        for buffer in taken:
+            self._pools.setdefault((buffer.shape, buffer.dtype), []).append(buffer)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "slots": len(self._pools),
+            "pooled": sum(len(pool) for pool in self._pools.values()),
+        }
+
+
+def scratch(workspace: Optional[Workspace], shape: Sequence[int],
+            dtype=np.float32) -> np.ndarray:
+    """A scratch buffer from ``workspace``, or a fresh one when it is None."""
+    if workspace is None:
+        return np.empty(tuple(int(s) for s in shape), dtype)
+    return workspace.take(shape, dtype)
+
+
+def reset_workspace(workspace: Optional[Workspace]) -> None:
+    """Return every leased scratch buffer to ``workspace`` (None-safe)."""
+    if workspace is not None:
+        workspace.reset()
+
+
+def pad_nchw(x: np.ndarray, pads: Sequence[int], value: float = 0.0,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pad an NCHW tensor with an ONNX-style ``[top, left, bottom, right]`` spec.
+
+    With ``out=`` the padded tensor is written into the caller-owned buffer
+    (which must have the padded shape) instead of allocating via ``np.pad``.
+    """
     top, left, bottom, right = (int(p) for p in pads)
     if top == left == bottom == right == 0:
-        return x
-    return np.pad(
-        x,
-        ((0, 0), (0, 0), (top, bottom), (left, right)),
-        mode="constant",
-        constant_values=value,
-    )
+        if out is None:
+            return x
+        np.copyto(out, x)
+        return out
+    if out is None:
+        return np.pad(
+            x,
+            ((0, 0), (0, 0), (top, bottom), (left, right)),
+            mode="constant",
+            constant_values=value,
+        )
+    n, c, h, w = x.shape
+    if out.shape != (n, c, h + top + bottom, w + left + right):
+        raise ValueError(
+            f"pad_nchw out buffer has shape {out.shape}, expected "
+            f"{(n, c, h + top + bottom, w + left + right)}")
+    out.fill(value)
+    out[:, :, top:top + h, left:left + w] = x
+    return out
+
+
+def padded_shape(shape: Sequence[int], pads: Sequence[int]) -> Tuple[int, ...]:
+    """The NCHW shape produced by :func:`pad_nchw` for a given pad spec."""
+    n, c, h, w = (int(s) for s in shape)
+    top, left, bottom, right = (int(p) for p in pads)
+    return (n, c, h + top + bottom, w + left + right)
+
+
+def conv_output_hw(
+    spatial: Tuple[int, int],
+    kernel: Tuple[int, int],
+    strides: Tuple[int, int],
+    pads: Sequence[int],
+    dilations: Tuple[int, int] = (1, 1),
+) -> Tuple[int, int]:
+    """Output spatial size of a convolution/pooling window sweep."""
+    h, w = spatial
+    kh, kw = kernel
+    sh, sw = strides
+    dh, dw = dilations
+    top, left, bottom, right = (int(p) for p in pads)
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    oh = (h + top + bottom - eff_kh) // sh + 1
+    ow = (w + left + right - eff_kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kernel} with strides {strides} does not fit input of "
+            f"spatial size {(h, w)} (pads {list(pads)})")
+    return oh, ow
 
 
 def sliding_windows(
@@ -61,18 +183,26 @@ def im2col(
     strides: Tuple[int, int],
     pads: Sequence[int],
     dilations: Tuple[int, int] = (1, 1),
+    out: Optional[np.ndarray] = None,
+    pad_out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Lower an NCHW tensor to the im2col matrix used for GEMM convolution.
 
     Returns ``(cols, (oh, ow))`` where ``cols`` has shape
-    ``(N * OH * OW, C * KH * KW)``.
+    ``(N * OH * OW, C * KH * KW)``.  With ``out=`` the columns are
+    materialized directly into the caller-owned (contiguous) matrix and
+    ``pad_out=`` receives the padded input, so the lowering allocates
+    nothing.
     """
-    x_p = pad_nchw(x, pads)
+    x_p = pad_nchw(x, pads, out=pad_out)
     windows = sliding_windows(x_p, kernel, strides, dilations)
     n, c, oh, ow, kh, kw = windows.shape
     # (N, OH, OW, C, KH, KW) -> rows are output positions, columns the patch.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), (oh, ow)
+    patches = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is None:
+        return np.ascontiguousarray(patches.reshape(n * oh * ow, c * kh * kw)), (oh, ow)
+    np.copyto(out.reshape(n, oh, ow, c, kh, kw), patches)
+    return out, (oh, ow)
 
 
 def normalize_pads(pads: Sequence[int]) -> List[int]:

@@ -110,6 +110,56 @@ def test_arena_reaches_zero_alloc_steady_state():
         plan.run(feed)
     assert plan.stats()["arena"]["allocations"] == warm
     assert plan.stats()["arena"]["reuses"] > 0
+    # conv/pool/GEMM nodes must be on the destination-passing path, so the
+    # zero-alloc property above covers the heavy ops, not just elementwise
+    assert plan.stats()["heavy_steps"] > 0
+
+
+@pytest.mark.parametrize("model_name", ["squeezenet", "googlenet"])
+def test_heavy_zero_alloc_covers_conv_dominated_models(model_name):
+    """Warm steady state performs zero arena acquisitions per run on
+    conv-dominated models — outputs *and* im2col/pad/GEMM workspaces."""
+    model = MODEL_REGISTRY[model_name].build(variant="small")
+    feed = example_inputs(model, seed=3)
+    plan = ExecutionPlan(model)
+    plan.run(feed)
+    plan.run(feed)
+    warm = plan.stats()["arena"]["allocations"]
+    for _ in range(3):
+        plan.run(feed)
+    stats = plan.stats()
+    assert stats["arena"]["allocations"] == warm
+    assert stats["heavy_steps"] > 0
+    assert stats["arena"]["reuses"] > 0
+
+
+def test_plan_without_heavy_out_stays_bitwise_identical():
+    """The heavy_out=False baseline (PR-3 behaviour) and the
+    destination-passing plan agree bitwise with the interpreter."""
+    model = MODEL_REGISTRY["squeezenet"].build(variant="small")
+    feed = example_inputs(model, seed=11)
+    reference = GraphExecutor(model).run(feed)
+    baseline = ExecutionPlan(model, heavy_out=False)
+    assert baseline.stats()["heavy_steps"] == 0
+    for _ in range(3):
+        outputs = baseline.run(feed)
+        for name, ref in reference.items():
+            np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_profiler_plan_engine_reports_alloc_accounting():
+    model = build_diamond_model()
+    feed = example_inputs(model)
+    profile = profile_model(model, feed, num_runs=3, warmup=2, engine="plan")
+    assert profile.engine == "plan"
+    assert profile.arena_stats is not None
+    assert profile.arena_stats["allocations"] > 0
+    # after two warmup runs every signature has specialized: the measured
+    # runs must not have acquired any new arena buffers
+    assert profile.arena_allocs_during_runs == 0
+    via_interp = profile_model(model, feed, num_runs=1, warmup=0)
+    assert via_interp.engine == "interpreter"
+    assert via_interp.arena_stats is None and via_interp.arena_allocs_during_runs is None
 
 
 def test_trace_hook_reports_every_node_when_unfused():
@@ -260,6 +310,26 @@ def test_fused_tail_on_scalar_chain_value_stays_out_of_place():
         outputs = plan.run(feed)
         for name, ref in reference.items():
             np.testing.assert_array_equal(outputs[name], ref)
+
+
+def test_requested_intermediate_survives_intra_run_slot_reuse():
+    """Regression: a requested intermediate whose arena buffer dies mid-run
+    must not be clobbered by a later step acquiring the same slot."""
+    b = GraphBuilder("pin_intermediate", seed=0)
+    x = b.input("x", (1, 4096))
+    a = b.node("Add", [x, x])        # arena-eligible, >4 KB
+    r = b.node("Relu", [a])          # last consumer of a -> slot would free
+    s = b.node("Sub", [r, x])        # same (shape, dtype) slot: would reuse a
+    out = b.node("Mul", [s, s])
+    b.output(out)
+    model = b.build()
+    feed = {"x": np.random.default_rng(2).standard_normal((1, 4096)).astype(np.float32)}
+    expected = GraphExecutor(model).run(feed, outputs=[a])[a]
+    plan = ExecutionPlan(model, fuse=False)
+    plan.run(feed)
+    plan.run(feed)  # warm: the arena slot is now shared
+    got = plan.run(feed, outputs=[a])[a]
+    np.testing.assert_array_equal(got, expected)
 
 
 def test_requested_intermediates_are_copied_out_of_the_arena():
