@@ -8,10 +8,14 @@ The acceptance bar for the planned execution engine
 * once warm, the plan's buffer arena performs **zero** new allocations per
   run — *including the heavy conv/GEMM/pooling operators*, whose outputs
   come from the liveness-managed arena and whose im2col/padding/GEMM
-  scratch is leased from arena-backed workspaces — and
+  scratch is leased from arena-backed workspaces —
 * the destination-passing heavy kernels beat the PR-3-era implementation
   (per-call weight reshape/transpose, allocating im2col, ``concatenate``
-  group assembly) on a conv-dominated workload.
+  group assembly) on a conv-dominated workload, and
+* a warm ``Session.run_with_binding`` loop (the IOBinding surface) performs
+  zero arena allocations **and zero graph-output allocations**: every
+  output is written directly into its bound buffer (direct writes only, no
+  end-of-run copies), bitwise-identical to the interpreter.
 
 Inputs use a serving-shaped batch (the micro-batcher's fused requests are
 exactly this workload), where the in-place fusion and arena reuse pay for
@@ -46,6 +50,7 @@ from repro.analysis.reports import format_rows
 from repro.models import build_model
 from repro.runtime.executor import GraphExecutor
 from repro.runtime.plan import ExecutionPlan
+from repro.runtime.session import create_session
 from repro.runtime.tensor_utils import Workspace, im2col
 import repro.runtime.functional as F
 from repro.serving.engine import example_inputs
@@ -123,7 +128,7 @@ def _measure(model_name: str) -> Dict:
     #: every node output is a fresh allocation per interpreter run
     interp_allocs = sum(len([o for o in n.outputs if o])
                         for n in model.graph.nodes)
-    return {
+    row = {
         "model": model_name,
         "interp_ms": round(interp_s * 1e3, 2),
         "planned_ms": round(plan_s * 1e3, 2),
@@ -135,6 +140,57 @@ def _measure(model_name: str) -> Dict:
         "arena_allocs_delta": stats["arena"]["allocations"] - allocs_warm,
         "arena_reuses": stats["arena"]["reuses"],
         "arena_slots": stats["arena"]["slots"],
+    }
+    row.update(_measure_binding(model, plan, interp, feed))
+    return row
+
+
+def _measure_binding(model, plan: ExecutionPlan, interp: GraphExecutor,
+                     feed) -> Dict:
+    """The IOBinding gate: warm bound runs allocate nothing, anywhere.
+
+    Wraps the already-warm plan in a Session, binds the feed and
+    session-managed output buffers, and measures a warm
+    ``run_with_binding`` loop: arena allocations and graph-output copies
+    must both stay flat (every output is a direct in-place write into its
+    bound buffer), the returned arrays must *be* the bound buffers, and
+    the results must stay bitwise-identical to the interpreter.
+    """
+    session = create_session(plan)
+    binding = session.bind()
+    for name, array in feed.items():
+        binding.bind_input(name, array)
+    for name in session.output_names:
+        binding.bind_output(name)
+    for _ in range(2):  # materialize output buffers + specialize dest heads
+        session.run_with_binding(binding)
+
+    stats = plan.stats()
+    allocs_warm = stats["arena"]["allocations"]
+    copies_warm = stats["output_binding"]["copy_writes"]
+    direct_warm = stats["output_binding"]["direct_writes"]
+
+    plan_s, bound_s, median_ratio = _paired_timings(
+        lambda: plan.run(feed), lambda: session.run_with_binding(binding),
+        PERF_ROUNDS)
+
+    buffers = binding.get_outputs()
+    outputs = session.run_with_binding(binding)
+    outputs_pinned = all(outputs[name] is buffers[name] for name in buffers)
+    reference = interp.run(feed)
+    bitwise_ok = all(
+        np.array_equal(np.asarray(outputs[name]), np.asarray(ref))
+        for name, ref in reference.items())
+
+    stats = plan.stats()
+    return {
+        "bound_ms": round(bound_s * 1e3, 2),
+        "binding_speedup": round(median_ratio, 3),
+        "binding_allocs_delta": stats["arena"]["allocations"] - allocs_warm,
+        "binding_output_copies": stats["output_binding"]["copy_writes"] - copies_warm,
+        "binding_direct_writes": stats["output_binding"]["direct_writes"] - direct_warm,
+        "binding_outputs_pinned": outputs_pinned,
+        "binding_bitwise_ok": bitwise_ok,
     }
 
 
@@ -198,7 +254,7 @@ def _measure_conv_op() -> List[Dict]:
 def _emit_trajectory(model_rows: List[Dict], conv_rows: List[Dict],
                      path: str) -> None:
     payload = {
-        "schema": "repro-exec-bench/1",
+        "schema": "repro-exec-bench/2",
         "created_unix": time.time(),
         "config": {"models": PERF_MODELS, "rounds": PERF_ROUNDS,
                    "batch": PERF_BATCH},
@@ -268,6 +324,36 @@ def test_heavy_destination_passing_never_regresses_plan(throughput_rows):
             "heavy_out=False baseline)")
 
 
+def test_bound_runs_zero_output_alloc_and_bitwise(throughput_rows):
+    """The IOBinding acceptance gate: a warm ``run_with_binding`` loop
+    performs zero arena allocations and zero graph-output allocations —
+    every graph output is written directly into its bound buffer — and the
+    bound outputs are bitwise-identical to the interpreter."""
+    for row in throughput_rows:
+        assert row["binding_allocs_delta"] == 0, (
+            f"{row['model']}: warm bound runs allocated "
+            f"{row['binding_allocs_delta']} arena buffers")
+        assert row["binding_output_copies"] == 0, (
+            f"{row['model']}: {row['binding_output_copies']} graph outputs "
+            "were finalized by copy instead of written in place — the "
+            "bound hot path must be allocation-free end to end")
+        assert row["binding_direct_writes"] > 0
+        assert row["binding_outputs_pinned"], (
+            f"{row['model']}: run_with_binding returned arrays that are "
+            "not the bound buffers")
+        assert row["binding_bitwise_ok"], (
+            f"{row['model']}: bound outputs diverged from GraphExecutor")
+
+
+def test_bound_runs_do_not_regress_unbound_plan(throughput_rows):
+    """Binding removes the per-run output allocation; it must never make
+    the planned path materially slower (regression bound, not a claim)."""
+    for row in throughput_rows:
+        assert row["binding_speedup"] * INTERP_REGRESSION_GATE >= 1.0, (
+            f"{row['model']}: run_with_binding is materially slower than "
+            f"the unbound plan ({row['binding_speedup']}x)")
+
+
 def test_heavy_conv_beats_pr3_implementation(conv_op_rows):
     print()
     print(format_rows(conv_op_rows))
@@ -287,9 +373,11 @@ def test_trajectory_artifact_schema(tmp_path, throughput_rows, conv_op_rows):
     path = tmp_path / "BENCH_exec.json"
     _emit_trajectory(throughput_rows, conv_op_rows, str(path))
     payload = json.loads(path.read_text())
-    assert payload["schema"] == "repro-exec-bench/1"
+    assert payload["schema"] == "repro-exec-bench/2"
     assert [row["model"] for row in payload["models"]] == PERF_MODELS
     for row in payload["models"]:
         assert {"speedup", "heavy_speedup", "arena_allocs_delta",
-                "heavy_steps", "arena_reuses"} <= set(row)
+                "heavy_steps", "arena_reuses", "binding_speedup",
+                "binding_allocs_delta", "binding_output_copies",
+                "binding_outputs_pinned", "binding_bitwise_ok"} <= set(row)
     assert payload["conv_op_pr3_comparison"]

@@ -54,6 +54,9 @@ __all__ = [
     "RamielPipeline",
     "InferenceEngine",
     "EngineConfig",
+    "Session",
+    "IOBinding",
+    "create_session",
 ]
 
 
@@ -72,4 +75,9 @@ def __getattr__(name):
         from repro import serving as _serving
 
         return getattr(_serving, name)
+    if name in ("Session", "IOBinding", "create_session",
+                "known_executors", "validate_executor"):
+        from repro.runtime import session as _session
+
+        return getattr(_session, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -62,8 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
     warmup_p.add_argument("models", nargs="+",
                           help="model names (e.g. squeezenet bert)")
     warmup_p.add_argument("--variant", default="small", choices=["default", "small"])
-    warmup_p.add_argument("--executor", default="plan", choices=["plan", "pool"],
-                          help="request executor: planned engine or warm worker pool")
+    # Executor strings are validated eagerly by EngineConfig against the
+    # session registry (repro.runtime.session.EXECUTOR_REGISTRY); no
+    # choices= here so parser construction stays import-light.
+    warmup_p.add_argument("--executor", default="plan", metavar="EXECUTOR",
+                          help="request executor from the session registry "
+                               "(plan | interp | pool | process)")
     warmup_p.add_argument("--backend", default="thread", choices=["thread", "process"])
     warmup_p.add_argument("--json", action="store_true", help="print a JSON summary")
 
@@ -81,8 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="micro-batcher max batch size (default 8)")
     serve_p.add_argument("--max-wait-ms", type=float, default=5.0,
                          help="micro-batcher max wait in ms (default 5)")
-    serve_p.add_argument("--executor", default="plan", choices=["plan", "pool"],
-                         help="request executor: planned engine or warm worker pool")
+    serve_p.add_argument("--executor", default="plan", metavar="EXECUTOR",
+                         help="request executor from the session registry "
+                              "(plan | interp | pool | process)")
     serve_p.add_argument("--backend", default="thread", choices=["thread", "process"])
     serve_p.add_argument("--compare-naive", type=int, default=0, metavar="N",
                          help="also measure N naive compile-per-request calls per model")

@@ -33,6 +33,13 @@ from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
 from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
 from repro.runtime.plan import ExecutionPlan, PlanError, plan_model
 from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
+from repro.runtime.session import (
+    IOBinding,
+    Session,
+    create_session,
+    known_executors,
+    validate_executor,
+)
 from repro.runtime.tensor_utils import Workspace
 from repro.runtime.worker_pool import WarmExecutorPool
 
@@ -41,8 +48,13 @@ __all__ = [
     "execute_model",
     "ExecutionError",
     "ExecutionPlan",
+    "IOBinding",
     "PlanError",
+    "Session",
+    "create_session",
+    "known_executors",
     "plan_model",
+    "validate_executor",
     "WarmExecutorPool",
     "Workspace",
     "intra_op_threads",

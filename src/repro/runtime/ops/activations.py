@@ -98,16 +98,24 @@ def clip(x: np.ndarray, min_value: Optional[float] = None,
     return np.clip(np.asarray(x), lo, hi, out=out)
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
+def softmax(x: np.ndarray, axis: int = -1,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    The final division can write into a caller-owned ``out`` buffer (the
+    same ufunc either way, so results are bitwise-identical with and
+    without a destination); the stabilisation intermediates still allocate.
+    """
     x = np.asarray(x, dtype=np.float32)
     shifted = x - x.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
-    return exps / exps.sum(axis=axis, keepdims=True)
+    return np.divide(exps, exps.sum(axis=axis, keepdims=True), out=out)
 
 
-def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Log of softmax, computed stably."""
+def log_softmax(x: np.ndarray, axis: int = -1,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Log of softmax, computed stably (``out`` as in :func:`softmax`)."""
     x = np.asarray(x, dtype=np.float32)
     shifted = x - x.max(axis=axis, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return np.subtract(shifted, log_sum, out=out)

@@ -9,10 +9,12 @@ import numpy as np
 from repro.runtime.tensor_utils import onnx_axis
 
 
-def concat(tensors: Sequence[np.ndarray], axis: int = 0) -> np.ndarray:
-    """Concatenate tensors along an axis."""
+def concat(tensors: Sequence[np.ndarray], axis: int = 0,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Concatenate tensors along an axis, optionally into ``out``."""
     tensors = [np.asarray(t) for t in tensors]
-    return np.concatenate(tensors, axis=onnx_axis(axis, tensors[0].ndim))
+    return np.concatenate(tensors, axis=onnx_axis(axis, tensors[0].ndim),
+                          out=out)
 
 
 def split(x: np.ndarray, parts: Optional[int] = None, sizes: Optional[Sequence[int]] = None,

@@ -42,6 +42,12 @@ executes without destinations and records each step's observed output shape
 and dtype; subsequent runs under the same signature reuse arena buffers.
 Serving traffic with a handful of distinct batch sizes therefore reaches the
 zero-realloc steady state after one warm run per signature.
+
+Graph outputs — which must stay private to the caller and therefore never
+come from the arena — accept caller-owned destinations via ``run(feed,
+out={name: buffer})`` (surfaced as :class:`repro.runtime.session.Session`'s
+``IOBinding``): destination-capable producers write the output in place,
+closing the last per-run allocation of the warm hot path.
 """
 
 from __future__ import annotations
@@ -225,6 +231,24 @@ def _heavy_pool(fn, include_count: bool) -> _HeavyMaker:
 
 _HEAVY_MAKERS["MaxPool"] = _heavy_pool(F.max_pool2d, include_count=False)
 _HEAVY_MAKERS["AveragePool"] = _heavy_pool(F.avg_pool2d, include_count=True)
+
+
+def _output_dest_kernel(node: OpNode) -> Optional[Callable]:
+    """Destination kernels used *only* for graph-output producers.
+
+    These ops are not fusable tails (their internals allocate regardless),
+    but their final store supports an exact ``out=`` — enough to land a
+    graph output directly in a caller-bound buffer.  Kept separate from
+    :func:`_out_kernel` so adding one never changes fusion decisions.
+    """
+    if node.op_type in ("Softmax", "LogSoftmax"):
+        fn = F.softmax if node.op_type == "Softmax" else F.log_softmax
+        axis = int(node.get_attr("axis", -1))
+        return lambda args, out, fn=fn, axis=axis: fn(args[0], axis=axis, out=out)
+    if node.op_type == "Concat":
+        axis = int(node.get_attr("axis", 0))
+        return lambda args, out, axis=axis: F.concat(args, axis=axis, out=out)
+    return None
 
 
 def _out_kernel(node: OpNode) -> Optional[Callable]:
@@ -639,16 +663,70 @@ def _make_arena_head(out_kernel: Callable, in_names: Sequence[str],
     return head
 
 
-def _make_step(head: Callable, tail: List[_TailOp], out_name: str) -> Callable:
-    if not tail:
-        def step(values):
-            values[out_name] = head(values)
+def _make_dest_head(kernel: Callable, in_names: Sequence[str]) -> Callable:
+    """A head that computes straight into a caller-bound output buffer.
+
+    Like :func:`_make_arena_head`, the first run under an input signature
+    executes without a destination and records the observed output slot;
+    once specialized, a matching bound buffer is passed as ``out=`` and the
+    kernel writes the graph output in place — no per-run allocation, no
+    end-of-run copy.  A mismatched buffer falls back to the allocating
+    path; the run-level finalization then copies (and reports the shape or
+    dtype error).
+    """
+    in_names = tuple(in_names)
+    spec: Dict[Tuple, Tuple] = {}
+
+    def head(values, buf):
+        args = [values[n] for n in in_names]
+        key = tuple((a.shape, a.dtype) for a in args)
+        slot = spec.get(key)
+        if slot is None:
+            result = np.asarray(kernel(args, None))
+            spec[key] = (result.shape, result.dtype)
+            return result
+        if (type(buf) is np.ndarray and buf.shape == slot[0]
+                and buf.dtype == slot[1]):
+            return kernel(args, buf)
+        return np.asarray(kernel(args, None))
+
+    return head
+
+
+def _make_step(head: Callable, tail: List[_TailOp], out_name: str,
+               dest_head: Optional[Callable] = None) -> Callable:
+    """Compile one step; ``dest`` maps graph-output names to bound buffers.
+
+    Steps that produce a graph output through a destination-capable head
+    consult ``dest`` and compute directly into the bound buffer; fused
+    tails then apply in place on it, so the chain's final value *is* the
+    caller's buffer in the warm steady state.
+    """
+    if dest_head is None:
+        if not tail:
+            def step(values, dest):
+                values[out_name] = head(values)
+        else:
+            def step(values, dest):
+                chain = head(values)
+                for op in tail:
+                    chain = op.apply(values, chain)
+                values[out_name] = chain
     else:
-        def step(values):
-            chain = head(values)
-            for op in tail:
-                chain = op.apply(values, chain)
-            values[out_name] = chain
+        if not tail:
+            def step(values, dest):
+                buf = dest.get(out_name)
+                if buf is None:
+                    values[out_name] = head(values)
+                else:
+                    values[out_name] = dest_head(values, buf)
+        else:
+            def step(values, dest):
+                buf = dest.get(out_name)
+                chain = head(values) if buf is None else dest_head(values, buf)
+                for op in tail:
+                    chain = op.apply(values, chain)
+                values[out_name] = chain
     return step
 
 
@@ -657,7 +735,7 @@ def _make_multi_step(kernel: Callable, in_names: Sequence[str],
     in_names = tuple(in_names)
     out_names = tuple(out_names)
 
-    def step(values):
+    def step(values, dest):
         results = kernel([values[n] for n in in_names])
         for name, value in zip(out_names, results):
             if name:
@@ -840,6 +918,7 @@ class ExecutionPlan:
         fused_node_count = 0
         self._arena_step_count = 0
         self._heavy_step_count = 0
+        self._bindable_outputs = 0
         for nodes, writes in zip(step_nodes, step_writes):
             node = nodes[0]
             tail_nodes = nodes[1:]
@@ -861,7 +940,9 @@ class ExecutionPlan:
                                        storage_recyclable)
                 if head is None:
                     head = _make_plain_head(_bind_node(node), node.present_inputs)
-                steps.append(_make_step(head, tail, writes[0]))
+                dest_head = self._make_output_dest_head(node, writes[0],
+                                                        output_set)
+                steps.append(_make_step(head, tail, writes[0], dest_head))
             else:
                 out_names = [o for o in node.outputs if o]
                 if len(out_names) == 1:
@@ -870,7 +951,9 @@ class ExecutionPlan:
                     if head is None:
                         head = _make_plain_head(_bind_node(node),
                                                 node.present_inputs)
-                    steps.append(_make_step(head, [], out_names[0]))
+                    dest_head = self._make_output_dest_head(node, out_names[0],
+                                                            output_set)
+                    steps.append(_make_step(head, [], out_names[0], dest_head))
                 else:
                     steps.append(_make_multi_step(_bind_node(node),
                                                   node.present_inputs,
@@ -882,9 +965,45 @@ class ExecutionPlan:
         self._num_nodes = len(order)
         self._fused_node_count = fused_node_count
         self._init_values = dict(graph.initializers)
+        self._init_arrays = [array for array in self._init_values.values()
+                             if isinstance(array, np.ndarray)]
+        #: bound-output buffers already cleared against the (immutable)
+        #: initializer set, so a warm binding loop pays the O(#weights)
+        #: overlap sweep once per buffer, not per run.  Identity-checked
+        #: weakrefs, as in :class:`_Arena`, so a freed buffer can never be
+        #: confused with a new array reusing its ``id``.
+        self._init_safe: Dict[int, "weakref.ref"] = {}
         self._input_names = list(graph.input_names)
         self._output_names = list(graph.output_names)
+        self._output_set = output_set
         self._storage_of = storage_of
+        self._dest_direct_writes = 0
+        self._dest_copy_writes = 0
+
+    def _make_output_dest_head(self, node: OpNode, out_name: str,
+                               output_set: set) -> Optional[Callable]:
+        """A caller-destination head for graph-output producers, else None.
+
+        Covers every out-capable elementwise/activation op, the heavy
+        conv/GEMM/pooling kernels (when ``heavy_out`` is on) and the
+        output-only destination kernels (Softmax/LogSoftmax/Concat).
+        Producers without destination support (alias ops, Constant, the
+        long tail) return None; their bound outputs are finalized by an
+        end-of-run copy instead.
+        """
+        if out_name not in output_set:
+            return None
+        kernel = _out_kernel(node)
+        if kernel is None and self.heavy_out:
+            maker = _HEAVY_MAKERS.get(node.op_type)
+            if maker is not None:
+                kernel = maker(node, self._arena)
+        if kernel is None:
+            kernel = _output_dest_kernel(node)
+        if kernel is None:
+            return None
+        self._bindable_outputs += 1
+        return _make_dest_head(kernel, node.present_inputs)
 
     def _make_head(self, node: OpNode, out_name: str,
                    storage_of: Dict[str, int],
@@ -929,6 +1048,7 @@ class ExecutionPlan:
         inputs: Mapping[str, np.ndarray],
         outputs: Optional[Sequence[str]] = None,
         trace_hook: Optional[Callable[[OpNode, float], None]] = None,
+        out: Optional[Mapping[str, np.ndarray]] = None,
     ) -> Dict[str, np.ndarray]:
         """Execute the plan and return the requested outputs.
 
@@ -936,17 +1056,77 @@ class ExecutionPlan:
         step's head node (build with ``fuse=False`` for exact per-node
         attribution).  Values fused away into a producer's step cannot be
         requested via ``outputs``.
+
+        ``out`` maps graph-output names to caller-owned destination
+        buffers.  Destination-capable producers write the output directly
+        into the buffer (no per-run graph-output allocation once the
+        signature has specialized); everything else is finalized with an
+        end-of-run copy.  A buffer overlapping any input array is only
+        written after every step has run, so binding an output over an
+        input is safe.  Shape/dtype mismatches raise :class:`PlanError`.
         """
         with self._lock:
-            return self._run_locked(inputs, outputs, trace_hook)
+            return self._run_locked(inputs, outputs, trace_hook, out)
 
-    def _run_locked(self, inputs, outputs, trace_hook) -> Dict[str, np.ndarray]:
+    def _run_locked(self, inputs, outputs, trace_hook, out) -> Dict[str, np.ndarray]:
         values: Dict[str, np.ndarray] = dict(self._init_values)
         for name in self._input_names:
             if name not in inputs:
                 raise PlanError(f"missing graph input {name!r}")
         for name, array in inputs.items():
             values[name] = np.asarray(array)
+
+        # Caller-bound output destinations: `dest` is consulted by the
+        # producing steps for direct writes; `bound` is the full set,
+        # finalized below.  Buffers that may alias an input — or another
+        # destination — are withheld from `dest`: writing them mid-run
+        # could corrupt values later steps still read (or each other), so
+        # they are handled by the end-of-run copy only.  A buffer
+        # overlapping an initializer is rejected outright — even a
+        # deferred copy into it would corrupt the weights of every
+        # subsequent run.
+        dest: Dict[str, np.ndarray] = {}
+        bound: Dict[str, np.ndarray] = {}
+        if out:
+            feed_arrays = [values[name] for name in self._input_names]
+            for name, buf in out.items():
+                if name not in self._output_set:
+                    raise PlanError(
+                        f"out destination {name!r} is not a graph output "
+                        f"(outputs: {self._output_names})")
+                if not isinstance(buf, np.ndarray):
+                    raise PlanError(
+                        f"out destination {name!r} must be a numpy array, "
+                        f"got {type(buf).__name__}")
+                if not buf.flags.writeable:
+                    raise PlanError(f"out destination {name!r} is read-only")
+                cached = self._init_safe.get(id(buf))
+                if cached is None or cached() is not buf:
+                    if any(np.may_share_memory(buf, array)
+                           for array in self._init_arrays):
+                        raise PlanError(
+                            f"out destination {name!r} overlaps an "
+                            "initializer (weight) array; writing it would "
+                            "corrupt the plan's weights for every "
+                            "subsequent run")
+                    key = id(buf)
+
+                    def drop(ref, key=key, safe=self._init_safe):
+                        if safe.get(key) is ref:
+                            del safe[key]
+
+                    self._init_safe[key] = weakref.ref(buf, drop)
+                bound[name] = buf
+            buffers = list(bound.items())
+            for index, (name, buf) in enumerate(buffers):
+                if any(np.may_share_memory(buf, array)
+                       for array in feed_arrays):
+                    continue
+                if any(np.may_share_memory(buf, other)
+                       for other_index, (_, other) in enumerate(buffers)
+                       if other_index != index):
+                    continue
+                dest[name] = buf
 
         # Storages of explicitly requested intermediates must not recycle
         # during *this* run: a later step sharing their (shape, dtype)
@@ -966,7 +1146,7 @@ class ExecutionPlan:
         try:
             if trace_hook is None:
                 for step_index in range(len(steps)):
-                    steps[step_index](values)
+                    steps[step_index](values, dest)
                     released = release_after[step_index]
                     if released:
                         for owner in released:
@@ -978,7 +1158,7 @@ class ExecutionPlan:
             else:
                 for step_index in range(len(steps)):
                     start = time.perf_counter()
-                    steps[step_index](values)
+                    steps[step_index](values, dest)
                     trace_hook(self._step_nodes[step_index][0],
                                time.perf_counter() - start)
                     released = release_after[step_index]
@@ -1011,9 +1191,43 @@ class ExecutionPlan:
                 f"requested outputs not available from the plan: {missing} "
                 "(graph outputs are always available; fused intermediates "
                 "are not)")
+
+        if bound:
+            # Finalize every bound destination: outputs the producing step
+            # already wrote in place need nothing; the rest are copied in.
+            # Copies happen after all steps have run, so a destination
+            # overlapping an input can never corrupt the computation.
+            # Every source overlapping *any* pending destination (its own
+            # included) is snapshotted before the first copyto runs — an
+            # earlier copy must not corrupt a later copy's source.
+            pending = [(name, buf) for name, buf in bound.items()
+                       if values[name] is not buf]
+            self._dest_direct_writes += len(bound) - len(pending)
+            if pending:
+                sources = []
+                dest_buffers = [buf for _, buf in pending]
+                for name, buf in pending:
+                    src = values[name]
+                    if src.shape != buf.shape or src.dtype != buf.dtype:
+                        raise PlanError(
+                            f"bound output {name!r}: destination has shape "
+                            f"{buf.shape} dtype {buf.dtype}, but the run "
+                            f"produced shape {src.shape} dtype {src.dtype}")
+                    if any(np.may_share_memory(src, other)
+                           for other in dest_buffers):
+                        src = src.copy()
+                    sources.append(src)
+                for (name, buf), src in zip(pending, sources):
+                    np.copyto(buf, src)
+                    values[name] = buf
+                    self._dest_copy_writes += 1
+
         result: Dict[str, np.ndarray] = {}
         for name in wanted:
             array = values[name]
+            if name in bound:
+                result[name] = array
+                continue
             # Never hand an arena-recycled buffer (or a view of one) to the
             # caller — it would be overwritten by the next run.  Graph
             # outputs are never arena-backed; this only triggers for
@@ -1045,6 +1259,11 @@ class ExecutionPlan:
             "arena_steps": self._arena_step_count,
             "heavy_steps": self._heavy_step_count,
             "arena": self._arena.stats(),
+            "output_binding": {
+                "bindable_outputs": self._bindable_outputs,
+                "direct_writes": self._dest_direct_writes,
+                "copy_writes": self._dest_copy_writes,
+            },
         }
 
     def as_cluster_module(self):

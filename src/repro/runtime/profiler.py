@@ -23,6 +23,7 @@ from repro.ir.model import Model
 from repro.ir.node import OpNode
 from repro.runtime.executor import GraphExecutor
 from repro.runtime.plan import ExecutionPlan
+from repro.runtime.session import Session
 
 
 @dataclasses.dataclass
@@ -93,7 +94,7 @@ class GraphProfile:
 
 
 def profile_model(
-    model: Model,
+    model,
     inputs: Mapping[str, np.ndarray],
     num_runs: int = 3,
     warmup: int = 1,
@@ -104,7 +105,13 @@ def profile_model(
     Parameters
     ----------
     model:
-        IR model to profile.
+        IR model to profile, or an in-process
+        :class:`~repro.runtime.session.Session` (``"plan"`` / ``"interp"``)
+        — the unified execution surface.  Profiling a session reuses its
+        warm executor state (arena, cached weight layouts); note that a
+        fused plan session attributes each fused chain to its head node,
+        while ``engine="plan"`` builds a fusion-disabled plan with exact
+        1:1 node attribution.
     inputs:
         Graph-input feed dictionary.
     num_runs:
@@ -113,20 +120,34 @@ def profile_model(
     warmup:
         Unmeasured warmup runs.
     engine:
-        ``"interpreter"`` (default) profiles through :class:`GraphExecutor`;
-        ``"plan"`` reuses a compile-once, fusion-disabled
+        Ignored when ``model`` is a session.  ``"interpreter"`` (default)
+        profiles through :class:`GraphExecutor`; ``"plan"`` reuses a
+        compile-once, fusion-disabled
         :class:`~repro.runtime.plan.ExecutionPlan`, so the per-node numbers
         exclude the interpreter's dispatch/attribute-parsing overhead and
         reflect what the planned serving hot path actually pays.  Fusion is
         disabled so every step maps 1:1 onto a node.
     """
-    if engine == "plan":
+    session: Optional[Session] = None
+    if isinstance(model, Session):
+        session = model
+        if session.plan is None and session.interpreter is None:
+            raise ValueError(
+                "profiling requires an in-process session ('plan' or "
+                f"'interp'), not executor {session.executor!r}")
+        executor = session.plan if session.plan is not None else session.interpreter
+        engine = f"session:{session.executor}"
+        model_name = session.model_name
+    elif engine == "plan":
         executor = ExecutionPlan(model, fuse=False)
+        model_name = model.name
     elif engine == "interpreter":
         executor = GraphExecutor(model)
+        model_name = model.name
     else:
         raise ValueError(f"unknown profiling engine {engine!r}; "
-                         "use 'interpreter' or 'plan'")
+                         "use 'interpreter' or 'plan', or pass a Session")
+    plan_backed = isinstance(executor, ExecutionPlan)
     ops: Dict[str, OpProfile] = {}
 
     def hook(node: OpNode, seconds: float) -> None:
@@ -139,20 +160,20 @@ def profile_model(
         executor.run(inputs)
 
     allocs_before = (executor.stats()["arena"]["allocations"]
-                     if engine == "plan" else None)
+                     if plan_backed else None)
     start = time.perf_counter()
     for _ in range(max(num_runs, 1)):
         executor.run(inputs, trace_hook=hook)
     wall = time.perf_counter() - start
 
     profile = GraphProfile(
-        model_name=model.name,
+        model_name=model_name,
         num_runs=max(num_runs, 1),
         ops=ops,
         wall_time_s=wall,
         engine=engine,
     )
-    if engine == "plan":
+    if plan_backed:
         stats = executor.stats()
         profile.arena_stats = stats["arena"]
         profile.arena_allocs_during_runs = (

@@ -1,0 +1,459 @@
+"""Unified execution surface: compile once, bind buffers, run many.
+
+Execution used to be scattered across ``RamielResult.run_planned``,
+``ExecutionPlan.run``, ``GraphExecutor``, ``profile_model(engine=...)`` and
+the serving engine's executor strings.  :func:`create_session` replaces that
+zoo with one front door, modeled on ONNX Runtime's ``InferenceSession`` +
+``IOBinding`` pattern:
+
+* a :class:`Session` owns the compiled artifact (pipeline result, execution
+  plan and buffer arena, or a warm worker pool) behind one executor name
+  from :data:`EXECUTOR_REGISTRY` — the single registry every entry point
+  (serving config, CLI flags, this module) validates against;
+* :meth:`Session.run` executes a plain feed dict, whatever the executor;
+* :meth:`Session.bind` returns an :class:`IOBinding`.  ``bind_input`` pins
+  caller-owned staging buffers (the serving micro-batcher stacks request
+  batches straight into them — no per-batch ``concatenate``), and
+  ``bind_output`` threads caller-owned destinations through
+  ``ExecutionPlan.run(feed, out=...)`` so graph outputs stop allocating
+  per run;
+* :meth:`Session.run_with_binding` executes a bound feed.  On a warm
+  ``"plan"`` session the loop performs **zero** arena allocations and
+  **zero** graph-output allocations — outputs land in place in the bound
+  buffers (gated in ``benchmarks/test_execution_throughput.py``).
+
+``"interp"`` sessions expose the exact same interface over the reference
+interpreter, which is what the differential tests compare against; bound
+outputs there are finalized by copy rather than written in place.
+
+Example::
+
+    import numpy as np
+    from repro import create_session
+    from repro.models import build_model
+
+    session = create_session(build_model("squeezenet"))
+    binding = session.bind()
+    staging = binding.bind_input(
+        "input", np.zeros((1, 3, 224, 224), np.float32))
+    binding.bind_output("softmax_0_out")    # session-managed, reused buffer
+    for request in stream:
+        staging[...] = request              # refill the pinned buffer
+        outputs = session.run_with_binding(binding)
+        # outputs["softmax_0_out"] IS the bound buffer, written in place
+        # (also available as binding.get_outputs() after the first run)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.model import Model
+from repro.runtime.executor import GraphExecutor
+from repro.runtime.plan import ExecutionPlan
+from repro.runtime.worker_pool import WarmExecutorPool
+
+__all__ = [
+    "EXECUTOR_REGISTRY",
+    "IOBinding",
+    "Session",
+    "create_session",
+    "known_executors",
+    "validate_executor",
+]
+
+#: The one registry of execution-surface names.  Every entry point that
+#: accepts an executor string — :func:`create_session`, the serving
+#: ``EngineConfig``, the CLI ``--executor`` flag — validates against this
+#: table via :func:`validate_executor` instead of keeping its own list.
+EXECUTOR_REGISTRY: Dict[str, str] = {
+    "plan": "compile-once ExecutionPlan hot path (zero-realloc once warm)",
+    "interp": "GraphExecutor reference interpreter (semantic ground truth)",
+    "pool": "generated parallel module on a warm thread-backed worker pool",
+    "process": "generated parallel module on warm forked worker processes",
+}
+
+
+def known_executors() -> Tuple[str, ...]:
+    """The registered executor names, in registry order."""
+    return tuple(EXECUTOR_REGISTRY)
+
+
+def validate_executor(name: str, allowed: Optional[Sequence[str]] = None,
+                      context: str = "executor") -> str:
+    """Validate an executor name eagerly against the central registry.
+
+    Raises :class:`ValueError` naming the known registry (and, when a
+    caller supports only a subset, the subset) so a typo fails at
+    configuration time instead of deep inside dispatch.
+    """
+    if name not in EXECUTOR_REGISTRY:
+        raise ValueError(
+            f"unknown {context} {name!r}; known executors: "
+            f"{', '.join(EXECUTOR_REGISTRY)}")
+    if allowed is not None and name not in allowed:
+        raise ValueError(
+            f"{context} {name!r} is not supported here; choose from: "
+            f"{', '.join(allowed)} (full registry: "
+            f"{', '.join(EXECUTOR_REGISTRY)})")
+    return name
+
+
+class IOBinding:
+    """Pinned input/output buffers for one :class:`Session`.
+
+    Created via :meth:`Session.bind`.  Input buffers are read directly by
+    the executor (zero-copy staging: write new request data into a pinned
+    buffer, or cheaply rebind a new array).  Output buffers are written in
+    place by ``"plan"`` sessions; ``bind_output(name)`` without a buffer
+    lets the session materialize a private, reused buffer on first run.
+
+    A binding is not thread-safe: it describes one caller's buffers, and
+    concurrent ``run_with_binding`` calls over the same binding would race
+    on them.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+        self._inputs: Dict[str, np.ndarray] = {}
+        self._outputs: Dict[str, Optional[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def bind_input(self, name: str, buffer) -> np.ndarray:
+        """Pin ``buffer`` as the staging array for graph input ``name``.
+
+        The array is validated against the model's declared signature
+        (leading/batch and ``None`` dims are free); the session reads it
+        directly on every :meth:`Session.run_with_binding` call, so the
+        caller can refill it between runs without rebinding.
+        """
+        session = self._session
+        if name not in session.input_names:
+            raise ValueError(
+                f"model {session.model_name!r} has no input {name!r}; "
+                f"inputs: {sorted(session.input_names)}")
+        array = np.asarray(buffer)
+        info = session._input_info.get(name)
+        declared = getattr(info, "shape", None)
+        if declared is not None:
+            if array.ndim != len(declared):
+                raise ValueError(
+                    f"input {name!r}: expected {len(declared)} dimensions "
+                    f"{tuple(declared)}, got shape {array.shape}")
+            for axis, dim in enumerate(declared):
+                if axis == 0 or dim is None:
+                    continue  # batch axis / wildcard
+                if array.shape[axis] != dim:
+                    raise ValueError(
+                        f"input {name!r}: axis {axis} must be {dim}, got "
+                        f"{array.shape[axis]} (shape {array.shape} vs "
+                        f"declared {tuple(declared)})")
+        if info is not None and np.dtype(info.dtype.value) != array.dtype:
+            raise ValueError(
+                f"input {name!r}: declared dtype {info.dtype.value}, got "
+                f"{array.dtype}")
+        self._inputs[name] = array
+        return array
+
+    def bind_output(self, name: str, buffer=None) -> Optional[np.ndarray]:
+        """Bind a destination buffer for graph output ``name``.
+
+        With ``buffer=None`` the session allocates a private buffer on the
+        first bound run and reuses it afterwards (returned by
+        :meth:`get_outputs`).  A caller-provided buffer must be a
+        writeable array and must not overlap any other bound output; shape
+        and dtype are checked against the produced output at run time.
+        """
+        session = self._session
+        if name not in session.output_names:
+            raise ValueError(
+                f"model {session.model_name!r} has no output {name!r}; "
+                f"outputs: {sorted(session.output_names)}")
+        if buffer is None:
+            return self._outputs.setdefault(name, None)
+        array = np.asarray(buffer)
+        if not array.flags.writeable:
+            raise ValueError(
+                f"output buffer for {name!r} must be writeable")
+        for other_name, other in self._outputs.items():
+            if (other is not None and other_name != name
+                    and np.may_share_memory(array, other)):
+                raise ValueError(
+                    f"output buffer for {name!r} overlaps the buffer "
+                    f"bound to {other_name!r}")
+        self._outputs[name] = array
+        return array
+
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Dict[str, np.ndarray]:
+        """The bound input arrays (a shallow copy of the mapping)."""
+        return dict(self._inputs)
+
+    def get_outputs(self) -> Dict[str, np.ndarray]:
+        """Bound (or session-materialized) output buffers seen so far."""
+        return {name: buf for name, buf in self._outputs.items()
+                if buf is not None}
+
+    def clear(self) -> None:
+        """Drop every bound input and output."""
+        self._inputs.clear()
+        self._outputs.clear()
+
+
+class Session:
+    """One compiled model behind one executor, with an IOBinding surface.
+
+    Construct via :func:`create_session` (or
+    :meth:`repro.pipeline.RamielResult.session`).  A session is
+    thread-safe for plain :meth:`run` calls (the underlying plan/pool
+    serializes); :meth:`run_with_binding` is as thread-safe as the
+    binding's buffers — use one binding per caller.
+    """
+
+    def __init__(self, executor: str, *, graph, model_name: str,
+                 result=None, plan: Optional[ExecutionPlan] = None,
+                 interp: Optional[GraphExecutor] = None,
+                 pool: Optional[WarmExecutorPool] = None,
+                 timeout_s: float = 300.0) -> None:
+        self.executor = validate_executor(executor)
+        self.result = result
+        self.model_name = model_name
+        self.timeout_s = timeout_s
+        self._graph = graph
+        self._plan = plan
+        self._interp = interp
+        self._pool = pool
+        self._input_info = {info.name: info for info in graph.inputs}
+        self._closed = False
+        self._broken: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[ExecutionPlan]:
+        """The underlying :class:`ExecutionPlan` (``"plan"`` sessions)."""
+        return self._plan
+
+    @property
+    def interpreter(self) -> Optional[GraphExecutor]:
+        """The underlying :class:`GraphExecutor` (``"interp"`` sessions)."""
+        return self._interp
+
+    @property
+    def pool(self) -> Optional[WarmExecutorPool]:
+        """The warm worker pool (``"pool"`` / ``"process"`` sessions)."""
+        return self._pool
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        """Graph input names of the compiled model."""
+        return tuple(self._graph.input_names)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        """Graph output names of the compiled model."""
+        return tuple(self._graph.output_names)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True once a watchdog marked the session unusable."""
+        return self._broken is not None
+
+    def mark_broken(self, reason: str) -> None:
+        """Mark the session unusable (e.g. a run is wedged inside it)."""
+        self._broken = reason
+
+    # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"session for {self.model_name!r} is closed")
+        if self._broken is not None:
+            raise RuntimeError(
+                f"session for {self.model_name!r} is broken "
+                f"({self._broken}); discard it and create a fresh one")
+
+    def run(self, inputs: Mapping[str, np.ndarray],
+            outputs: Optional[Sequence[str]] = None,
+            trace_hook=None,
+            timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
+        """Execute one feed dict and return the graph outputs.
+
+        ``outputs`` / ``trace_hook`` work on in-process sessions
+        (``"plan"`` / ``"interp"``); ``timeout`` applies to pool-backed
+        sessions (defaults to the session's ``timeout_s``).
+        """
+        self._check_usable()
+        if self._plan is not None:
+            return self._plan.run(inputs, outputs=outputs,
+                                  trace_hook=trace_hook)
+        if self._interp is not None:
+            return self._interp.run(inputs, outputs=outputs,
+                                    trace_hook=trace_hook)
+        if outputs is not None or trace_hook is not None:
+            raise ValueError(
+                "outputs=/trace_hook= require an in-process session "
+                "('plan' or 'interp'), not " + repr(self.executor))
+        return self._pool.run(
+            inputs, timeout=timeout if timeout is not None else self.timeout_s)
+
+    def bind(self) -> IOBinding:
+        """A fresh :class:`IOBinding` for this session."""
+        self._check_usable()
+        return IOBinding(self)
+
+    def run_with_binding(self, binding: IOBinding) -> Dict[str, np.ndarray]:
+        """Execute the bound feed; bound outputs are written in place.
+
+        Returns the output dict; for bound names the returned arrays *are*
+        the bound buffers.  On a warm ``"plan"`` session this loop makes
+        zero arena allocations and zero graph-output allocations.  Bound
+        vs unbound runs are bitwise-identical.
+        """
+        self._check_usable()
+        if binding._session is not self:
+            raise ValueError("binding belongs to a different session")
+        feed = binding._inputs
+        missing = [name for name in self.input_names if name not in feed]
+        if missing:
+            raise ValueError(
+                f"binding is missing graph inputs {missing}; bind_input() "
+                "them first")
+        bound = {name: buf for name, buf in binding._outputs.items()
+                 if buf is not None}
+        if self._plan is not None:
+            result = self._plan.run(feed, out=bound or None)
+        else:
+            result = self.run(feed)
+            # Mirror the plan path's aliasing discipline: an interp/pool
+            # output can be a view of a bound input, so snapshot every
+            # source overlapping any destination before the first copy.
+            buffers = list(bound.values())
+            sources = []
+            for name, buf in bound.items():
+                src = np.asarray(result[name])
+                if src.shape != buf.shape or src.dtype != buf.dtype:
+                    raise ValueError(
+                        f"bound output {name!r}: destination has shape "
+                        f"{buf.shape} dtype {buf.dtype}, but the run "
+                        f"produced shape {src.shape} dtype {src.dtype}")
+                if any(np.may_share_memory(src, other) for other in buffers):
+                    src = src.copy()
+                sources.append(src)
+            for (name, buf), src in zip(bound.items(), sources):
+                np.copyto(buf, src)
+                result[name] = buf
+        # Materialize lazily-bound outputs into private buffers the next
+        # bound run writes in place (always a copy — never adopt the run's
+        # array, which may be a view of an input or an initializer).
+        for name, buf in binding._outputs.items():
+            if buf is None:
+                owned = np.array(np.asarray(result[name]))
+                binding._outputs[name] = owned
+                result[name] = owned
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Session shape plus the underlying executor's counters."""
+        stats: Dict = {"model": self.model_name, "executor": self.executor}
+        if self._plan is not None:
+            stats["plan"] = self._plan.stats()
+        if self._pool is not None:
+            stats["pool_clusters"] = self._pool.num_clusters
+        return stats
+
+    def close(self) -> None:
+        """Release the executor's resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def create_session(model_or_artifact, config=None, executor: str = "plan",
+                   timeout_s: float = 300.0) -> Session:
+    """Create a :class:`Session` — the package's one execution front door.
+
+    Parameters
+    ----------
+    model_or_artifact:
+        An IR :class:`Model` (compiled here via ``ramiel_compile``), an
+        already-compiled :class:`~repro.pipeline.RamielResult`, or a bare
+        :class:`ExecutionPlan` (wrapped directly; ``"plan"`` only).
+    config:
+        Optional :class:`~repro.pipeline.PipelineConfig` used when
+        compiling a :class:`Model`; ``generate_code`` / ``build_plan`` are
+        derived from the executor.  Ignored for precompiled artifacts.
+    executor:
+        One of :func:`known_executors`:
+
+        * ``"plan"`` — the compile-once :class:`ExecutionPlan` hot path
+          (default; IOBinding runs are allocation-free once warm),
+        * ``"interp"`` — the :class:`GraphExecutor` reference interpreter
+          behind the same interface (differential testing),
+        * ``"pool"`` / ``"process"`` — the generated parallel module on a
+          warm thread- or fork-backed per-cluster worker pool.
+    timeout_s:
+        Per-run timeout for pool-backed sessions.
+    """
+    executor = validate_executor(executor)
+    obj = model_or_artifact
+    if isinstance(obj, ExecutionPlan):
+        if executor != "plan":
+            raise ValueError(
+                "an ExecutionPlan artifact can only back a 'plan' session; "
+                f"got executor {executor!r}")
+        return Session("plan", graph=obj.graph, model_name=obj.model_name,
+                       plan=obj, timeout_s=timeout_s)
+
+    if isinstance(obj, Model):
+        import dataclasses
+
+        from repro.pipeline import PipelineConfig, ramiel_compile
+
+        pipeline_config = config if config is not None else PipelineConfig()
+        pipeline_config = dataclasses.replace(
+            pipeline_config,
+            generate_code=executor in ("pool", "process"),
+            build_plan=executor == "plan")
+        result = ramiel_compile(obj, config=pipeline_config)
+    elif hasattr(obj, "optimized_model"):  # a RamielResult, duck-typed to
+        result = obj                       # avoid a circular pipeline import
+    else:
+        raise TypeError(
+            "create_session expects a Model, RamielResult or ExecutionPlan, "
+            f"got {type(obj).__name__}")
+
+    optimized = result.optimized_model
+    name = result.model.name
+    if executor == "plan":
+        return Session("plan", graph=optimized.graph, model_name=name,
+                       result=result, plan=result.plan(), timeout_s=timeout_s)
+    if executor == "interp":
+        return Session("interp", graph=optimized.graph, model_name=name,
+                       result=result, interp=GraphExecutor(optimized),
+                       timeout_s=timeout_s)
+    if result.parallel_module is None:
+        raise ValueError(
+            f"executor {executor!r} needs generated code, but the artifact "
+            "was compiled with generate_code=False")
+    pool = WarmExecutorPool(
+        result.parallel_module, optimized.graph.initializers,
+        backend="thread" if executor == "pool" else "process")
+    return Session(executor, graph=optimized.graph, model_name=name,
+                   result=result, pool=pool, timeout_s=timeout_s)

@@ -113,15 +113,23 @@ class MicroBatcher:
         completions are recorded there.
     label:
         Display name (model name / artifact key) for the collector thread.
+    stack:
+        Optional replacement for :func:`stack_requests`: a callable taking
+        the request list and returning whatever ``run_batch`` accepts.  The
+        serving engine passes a pinned-staging stacker here so batches are
+        written into session-bound buffers instead of a fresh
+        ``concatenate`` per batch.
     """
 
     def __init__(self, run_batch: Callable[[Dict[str, np.ndarray]], Mapping[str, np.ndarray]],
                  policy: Optional[BatchPolicy] = None,
                  metrics: Optional[ServingMetrics] = None,
-                 label: str = "batcher") -> None:
+                 label: str = "batcher",
+                 stack: Optional[Callable[[List[_Request]], object]] = None) -> None:
         self.policy = policy or BatchPolicy()
         self.label = label
         self._run_batch = run_batch
+        self._stack = stack or stack_requests
         self._metrics = metrics
         self._pending: "collections.deque[_Request]" = collections.deque()
         self._cond = threading.Condition()
@@ -190,7 +198,7 @@ class MicroBatcher:
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
         try:
-            stacked = stack_requests(batch)
+            stacked = self._stack(batch)
             outputs = self._run_batch(stacked)
             scattered = scatter_outputs(outputs, batch)
         except BaseException as exc:  # noqa: BLE001 - fail every co-batched request

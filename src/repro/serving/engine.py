@@ -6,14 +6,20 @@ pipeline into a serving loop:
 1. **Compiled-artifact cache** — each (model fingerprint, pipeline config,
    input signature) triple is compiled exactly once; the compiled execution
    state is reused across requests (:mod:`repro.serving.artifact_cache`).
-2. **Planned execution** — with the default ``executor="plan"`` every
-   request batch runs through a compile-once
+2. **Session execution** — each cached artifact holds a
+   :class:`~repro.runtime.session.Session` (the unified execution
+   surface).  With the default ``executor="plan"`` every request batch
+   runs through a compile-once
    :class:`~repro.runtime.plan.ExecutionPlan` (bound closures, buffer
    arena, fused elementwise tails): no per-request ``GraphExecutor``
-   construction, no per-node dispatch, and a zero-realloc steady state.
-   ``executor="pool"`` instead serves via the generated parallel module on
-   a warm per-cluster worker pool (:mod:`repro.runtime.worker_pool`), the
-   paper-shaped multi-worker runtime.
+   construction, no per-node dispatch, and a zero-realloc steady state;
+   fused batches are staged into session-pinned ``IOBinding`` buffers
+   instead of a fresh ``concatenate`` per batch, and every in-process
+   batch runs under a watchdog so a stuck batch cannot pin the artifact's
+   micro-batcher thread.  ``executor="pool"``/``"process"`` instead serve
+   via the generated parallel module on warm per-cluster worker pools
+   (:mod:`repro.runtime.worker_pool`), the paper-shaped multi-worker
+   runtime.
 3. **Dynamic micro-batching** — concurrent :meth:`InferenceEngine.submit`
    calls against the same artifact are fused along the batch axis under a
    max-batch-size / max-wait policy (:mod:`repro.serving.batching`).
@@ -38,7 +44,8 @@ from __future__ import annotations
 import dataclasses
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Mapping, Optional, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -50,9 +57,8 @@ from repro.pipeline import (
     model_fingerprint,
     ramiel_compile,
 )
-from repro.runtime.plan import ExecutionPlan
 from repro.runtime.process_runtime import execute_generated_module
-from repro.runtime.worker_pool import WarmExecutorPool
+from repro.runtime.session import IOBinding, Session, create_session, validate_executor
 from repro.serving.artifact_cache import ArtifactCache, ArtifactKey
 from repro.serving.batching import (
     BATCH_AXIS,
@@ -60,6 +66,7 @@ from repro.serving.batching import (
     BatchPolicy,
     MicroBatcher,
     ServingError,
+    stack_requests,
 )
 from repro.serving.metrics import ServingMetrics
 
@@ -78,17 +85,33 @@ class EngineConfig:
     #: compiled artifacts kept warm before LRU eviction; size it above the
     #: concurrently-served working set (model x config x signature triples)
     cache_capacity: int = 16
-    #: request execution engine: "plan" (default — the compile-once
-    #: :class:`~repro.runtime.plan.ExecutionPlan` hot path) or "pool" (the
-    #: generated parallel module on a warm per-cluster worker pool)
+    #: request execution engine — any name from
+    #: :func:`repro.runtime.session.known_executors`: "plan" (default — the
+    #: compile-once planned hot path), "interp" (the reference interpreter
+    #: behind the same Session interface), or "pool"/"process" (the
+    #: generated parallel module on warm per-cluster workers)
     executor: str = "plan"
     #: warm-pool backend for executor="pool": "thread" (default) or
-    #: "process" (fork platforms)
+    #: "process" (fork platforms; equivalent to executor="process")
     backend: str = "thread"
-    #: per-batch execution watchdog
+    #: per-batch execution watchdog (all executors — in-process sessions
+    #: run batches on a watchdog thread so a stuck batch cannot pin the
+    #: micro-batcher forever)
     timeout_s: float = 300.0
     #: compilation settings applied to every model served by this engine
     pipeline: PipelineConfig = dataclasses.field(default_factory=PipelineConfig)
+
+    def __post_init__(self) -> None:
+        validate_executor(self.executor, context="serving executor")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'thread' or 'process'")
+
+    def session_executor(self) -> str:
+        """The effective session executor ("pool"+process backend = "process")."""
+        if self.executor == "pool" and self.backend == "process":
+            return "process"
+        return self.executor
 
     def batch_policy(self) -> BatchPolicy:
         """The batching policy derived from this config."""
@@ -96,23 +119,125 @@ class EngineConfig:
                            max_wait_s=self.max_wait_s)
 
 
+class _BatchWatchdog:
+    """Runs in-process batches on a private thread with a deadline.
+
+    The pool executor has always had per-batch timeout + broken-artifact
+    recovery (a run that times out marks the pool broken and the artifact
+    is invalidated).  This ports the same semantics to the in-process
+    session executors ("plan"/"interp"): batches execute on the watchdog's
+    worker thread, the collector waits with a timeout, and a batch that
+    never returns marks the watchdog (and its session) broken instead of
+    pinning the artifact's micro-batcher thread forever.  The wedged
+    worker thread is daemonic and leaks until its run returns — exactly
+    the warm pool's failure contract.
+    """
+
+    def __init__(self, label: str) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"serve-watchdog-{label}")
+        self._broken: Optional[str] = None
+        self.label = label
+
+    @property
+    def broken(self) -> bool:
+        return self._broken is not None
+
+    def run(self, fn, arg, timeout: float):
+        if self._broken is not None:
+            raise ServingError(
+                f"executor for {self.label!r} is broken after an earlier "
+                f"failure ({self._broken}); the artifact should have been "
+                "invalidated")
+        future = self._executor.submit(fn, arg)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._broken = f"batch timed out after {timeout}s"
+            future.cancel()
+            raise ServingError(
+                f"batch execution for {self.label!r} timed out after "
+                f"{timeout}s; the artifact is invalidated and the next "
+                "request recompiles") from None
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+
+
+class _PinnedStacker:
+    """Stacks micro-batches into pinned staging buffers bound to a session.
+
+    Replaces the per-batch ``np.concatenate`` with copies into
+    session-bound staging arrays (``IOBinding.bind_input``): once the
+    largest batch shape has been seen, batch assembly allocates nothing —
+    the cross-run input pinning the ROADMAP called for.  Single-request
+    batches pass through zero-copy.  Falls back to plain stacking when the
+    request names do not cover the session's graph inputs (e.g. pruning
+    changed the input set).
+    """
+
+    def __init__(self, session: Session, max_batch_size: int) -> None:
+        self._session = session
+        self._binding = session.bind()
+        self._max_batch = max(int(max_batch_size), 1)
+        self._staging: Dict[str, np.ndarray] = {}
+
+    @property
+    def staging_buffers(self) -> List[np.ndarray]:
+        """The pinned staging arrays currently bound (for alias checks)."""
+        return list(self._staging.values())
+
+    def __call__(self, requests):
+        if len(requests) == 1:
+            return dict(requests[0].inputs)
+        names = set(requests[0].inputs)
+        if set(self._session.input_names) - names:
+            return stack_requests(requests)
+        total = sum(r.batch_len for r in requests)
+        feed: Dict[str, np.ndarray] = {}
+        for name, first in requests[0].inputs.items():
+            first = np.asarray(first)
+            tail, dtype = first.shape[1:], first.dtype
+            staging = self._staging.get(name)
+            if (staging is None or staging.shape[1:] != tail
+                    or staging.dtype != dtype or staging.shape[0] < total):
+                staging = np.empty((max(total, self._max_batch),) + tail, dtype)
+                self._staging[name] = staging
+            offset = 0
+            for request in requests:
+                staging[offset:offset + request.batch_len] = request.inputs[name]
+                offset += request.batch_len
+            feed[name] = staging[:total]
+        try:
+            for name, view in feed.items():
+                self._binding.bind_input(name, view)
+        except ValueError:
+            # Requests that pass serving validation but fail the binding's
+            # stricter declared-signature check (e.g. a castable dtype the
+            # kernels accept) must keep serving exactly as before: fall
+            # back to the plain feed of the same pinned staging views.
+            return feed
+        return self._binding
+
+
 @dataclasses.dataclass
 class CompiledArtifact:
-    """One cached compilation: result, execution state and batcher.
+    """One cached compilation: result, session and batcher.
 
-    Exactly one of ``plan`` / ``pool`` is the serving substrate, selected by
-    :attr:`EngineConfig.executor`; requests never construct a fresh
-    ``GraphExecutor`` (or any other per-request execution state).
+    The execution substrate is a :class:`~repro.runtime.session.Session`
+    over the compiled result, selected by :attr:`EngineConfig.executor`;
+    requests never construct a fresh ``GraphExecutor`` (or any other
+    per-request execution state).
     """
 
     key: ArtifactKey
     result: RamielResult
     batcher: MicroBatcher
     compile_time_s: float
-    #: the compile-once planned executor (executor="plan")
-    plan: Optional[ExecutionPlan] = None
-    #: the warm per-cluster worker pool (executor="pool")
-    pool: Optional[WarmExecutorPool] = None
+    #: the unified execution surface holding the plan or warm pool
+    session: Optional[Session] = None
+    #: watchdog thread for in-process ("plan"/"interp") sessions
+    watchdog: Optional[_BatchWatchdog] = None
     #: whether concurrent requests may be fused along the batch axis (some
     #: generated code bakes the batch size into static reshapes — e.g.
     #: BERT's attention head splits — and must be served one request at a time)
@@ -123,11 +248,23 @@ class CompiledArtifact:
         """Name of the compiled model."""
         return self.result.model.name
 
+    @property
+    def plan(self):
+        """The session's :class:`ExecutionPlan` (``executor="plan"``), else None."""
+        return self.session.plan if self.session is not None else None
+
+    @property
+    def pool(self):
+        """The session's warm worker pool (``executor="pool"/"process"``), else None."""
+        return self.session.pool if self.session is not None else None
+
     def close(self) -> None:
-        """Shut down the batcher and the warm pool (if any)."""
+        """Shut down the batcher, watchdog and session (warm pool included)."""
         self.batcher.close()
-        if self.pool is not None:
-            self.pool.close()
+        if self.watchdog is not None:
+            self.watchdog.close()
+        if self.session is not None:
+            self.session.close()
 
 
 class InferenceEngine:
@@ -139,9 +276,9 @@ class InferenceEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
-        if self.config.executor not in ("plan", "pool"):
-            raise ServingError(
-                f"unknown executor {self.config.executor!r}; use 'plan' or 'pool'")
+        # EngineConfig validates eagerly in __post_init__; re-validate here
+        # for callers that mutated the dataclass after construction.
+        validate_executor(self.config.executor, context="serving executor")
         self.metrics = ServingMetrics()
         self._config_fp = config_fingerprint(self.config.pipeline)
         self._cache = ArtifactCache(
@@ -261,27 +398,57 @@ class InferenceEngine:
 
     def _compile(self, model: Model, key: ArtifactKey) -> CompiledArtifact:
         start = time.perf_counter()
-        use_plan = self.config.executor == "plan"
-        # The planned path executes the optimized model directly; generating
-        # the parallel module (and spawning its workers) is only needed for
-        # the pool executor.
+        executor = self.config.session_executor()
+        in_process = executor in ("plan", "interp")
+        # The in-process session executes the optimized model directly;
+        # generating the parallel module (and spawning its workers) is only
+        # needed for the pool-backed executors.
         result = ramiel_compile(model, config=dataclasses.replace(
-            self.config.pipeline, generate_code=not use_plan, build_plan=use_plan))
+            self.config.pipeline, generate_code=not in_process,
+            build_plan=executor == "plan"))
+        session = create_session(result, executor=executor,
+                                 timeout_s=self.config.timeout_s)
         artifact_cell: list = []
+        label = f"{model.name}@{key.short()}"
+        watchdog: Optional[_BatchWatchdog] = None
+        stacker: Optional[_PinnedStacker] = None
 
-        if use_plan:
-            plan = result.plan()
-            pool = None
+        def invalidate() -> None:
+            if artifact_cell:
+                self._cache.invalidate(key, expected=artifact_cell[0])
 
-            def run_once(feed: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-                return plan.run(feed)
+        if in_process:
+            watchdog = _BatchWatchdog(label)
+            stacker = _PinnedStacker(session, self.config.max_batch_size)
 
-            run_batch = run_once
+            def run_batch(stacked) -> Dict[str, np.ndarray]:
+                # The stacker hands back either a pinned IOBinding (fused
+                # batch) or a plain feed dict (single request / fallback).
+                fn = (session.run_with_binding
+                      if isinstance(stacked, IOBinding) else session.run)
+                try:
+                    outputs = watchdog.run(fn, stacked, self.config.timeout_s)
+                except ServingError:
+                    # Timed-out (or already-broken) watchdog: the stuck run
+                    # may hold the plan lock forever — retire the session
+                    # and drop the artifact so the next request recompiles.
+                    session.mark_broken("batch watchdog timeout")
+                    invalidate()
+                    raise
+                # Outputs that alias the pinned staging buffers would be
+                # overwritten by the next batch; hand out private copies.
+                staging = stacker.staging_buffers
+                if staging:
+                    for name, array in list(outputs.items()):
+                        array = np.asarray(array)
+                        if any(np.may_share_memory(array, buf)
+                               for buf in staging):
+                            outputs[name] = np.array(array)
+                return outputs
+
+            run_once = run_batch
         else:
-            plan = None
-            pool = WarmExecutorPool(result.parallel_module,
-                                    result.optimized_model.graph.initializers,
-                                    backend=self.config.backend)
+            pool = session.pool
 
             def run_once(feed: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
                 # One-shot thread driver so a probe failure cannot wedge the
@@ -293,13 +460,13 @@ class InferenceEngine:
 
             def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
                 try:
-                    return pool.run(stacked, timeout=self.config.timeout_s)
+                    return session.run(stacked, timeout=self.config.timeout_s)
                 except BaseException:
                     # A failed/timed-out run can leave workers wedged; drop
                     # the artifact so the next request recompiles instead of
                     # hitting a permanently broken pool.
-                    if pool.broken and artifact_cell:
-                        self._cache.invalidate(key, expected=artifact_cell[0])
+                    if pool.broken:
+                        invalidate()
                     raise
 
         batchable = self._probe_batchable(run_once, key.input_signature)
@@ -309,10 +476,10 @@ class InferenceEngine:
         policy = (self.config.batch_policy() if batchable
                   else BatchPolicy(max_batch_size=1, max_wait_s=0.0))
         batcher = MicroBatcher(run_batch, policy=policy,
-                               metrics=self.metrics,
-                               label=f"{model.name}@{key.short()}")
-        artifact = CompiledArtifact(key=key, result=result, plan=plan,
-                                    pool=pool, batcher=batcher,
+                               metrics=self.metrics, label=label,
+                               stack=stacker if batchable else None)
+        artifact = CompiledArtifact(key=key, result=result, session=session,
+                                    watchdog=watchdog, batcher=batcher,
                                     compile_time_s=compile_time,
                                     batchable=batchable)
         artifact_cell.append(artifact)

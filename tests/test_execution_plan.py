@@ -357,7 +357,13 @@ def test_ramiel_compile_carries_an_execution_plan():
     assert "plan" in result.stage_times_s
     feed = example_inputs(model, seed=4)
     np.testing.assert_array_equal(
-        list(result.run_planned(feed).values())[0],
+        list(result.session().run(feed).values())[0],
+        list(GraphExecutor(result.optimized_model).run(feed).values())[0])
+    # the pre-session entry point still works, but warns
+    with pytest.deprecated_call(match="session"):
+        deprecated = result.run_planned(feed)
+    np.testing.assert_array_equal(
+        list(deprecated.values())[0],
         list(GraphExecutor(result.optimized_model).run(feed).values())[0])
 
 

@@ -435,9 +435,13 @@ class TestInferenceEngine:
             artifact = engine._artifact_for(model, signature)
             assert artifact.pool is not None and artifact.plan is None
 
-    def test_unknown_executor_rejected(self):
-        with pytest.raises(RuntimeError, match="executor"):
-            InferenceEngine(EngineConfig(executor="bogus"))
+    def test_unknown_executor_rejected_eagerly_with_registry(self):
+        """A typo'd executor fails at config construction, naming the
+        known registry — not deep inside dispatch."""
+        with pytest.raises(ValueError, match="plan, interp, pool, process"):
+            EngineConfig(executor="bogus")
+        with pytest.raises(ValueError, match="backend"):
+            EngineConfig(backend="bogus")
 
     def test_plan_executor_routes_requests_through_execution_plan(self):
         """Default serving executes via the cached ExecutionPlan."""
@@ -513,3 +517,156 @@ class TestInferenceEngine:
         assert snapshot["failed"] == 2
         assert snapshot["completed"] == 0
         assert snapshot["latency_ms"]["p50"] is None
+
+
+# ---------------------------------------------------------------------------
+# Session-era serving: pinned staging, plan-path watchdog, interp executor
+# ---------------------------------------------------------------------------
+class TestSessionServing:
+    def test_artifacts_hold_sessions(self):
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            _, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            assert artifact.session is not None
+            assert artifact.session.executor == "plan"
+            assert artifact.watchdog is not None
+            assert artifact.plan is artifact.session.plan  # compat accessor
+
+    def test_interp_executor_serves_correctly(self):
+        model = build_diamond_model()
+        reference = ramiel_compile(model)
+        with tiny_engine(executor="interp") as engine:
+            feed = example_inputs(model, seed=3)
+            outputs = engine.infer(model, feed)
+            expected = reference.session(executor="interp").run(feed)
+            for name, ref in expected.items():
+                np.testing.assert_array_equal(outputs[name], ref)
+            _, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            assert artifact.session.interpreter is not None
+            assert artifact.plan is None and artifact.pool is None
+
+    def test_pinned_stacker_reuses_staging_and_matches_concatenate(self):
+        """Fused batches land in session-pinned staging buffers: no new
+        staging allocation once the largest batch has been seen, and the
+        stacked feed is exactly what np.concatenate would have produced."""
+        from repro.serving.batching import _Request, stack_requests
+        from repro.serving.engine import _PinnedStacker
+        from concurrent.futures import Future
+
+        model = build_diamond_model()
+        with tiny_engine() as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            _, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+            stacker = artifact.batcher._stack
+            assert isinstance(stacker, _PinnedStacker)
+
+            def requests(seed):
+                return [
+                    _Request(inputs=example_inputs(model, seed=seed + i),
+                             batch_len=1, future=Future(), submit_t=0.0)
+                    for i in range(3)
+                ]
+
+            batch = requests(seed=10)
+            binding = stacker(batch)
+            expected = stack_requests(batch)
+            staged = {name: binding.inputs[name] for name in expected}
+            for name, ref in expected.items():
+                np.testing.assert_array_equal(staged[name], ref)
+            first_buffers = {id(buf) for buf in stacker.staging_buffers}
+            # a second batch of the same shape reuses the pinned staging
+            batch2 = requests(seed=20)
+            binding2 = stacker(batch2)
+            assert {id(buf) for buf in stacker.staging_buffers} == first_buffers
+            expected2 = stack_requests(batch2)
+            for name, ref in expected2.items():
+                np.testing.assert_array_equal(binding2.inputs[name], ref)
+            # and the bound run agrees with the plain-feed run
+            outputs = artifact.session.run_with_binding(binding2)
+            reference = artifact.session.run(expected2)
+            for name, ref in reference.items():
+                np.testing.assert_array_equal(outputs[name], ref)
+
+    def test_concurrent_requests_through_pinned_staging_stay_private(self):
+        """Fused requests get private output slices: a later batch reusing
+        the staging buffers must not corrupt earlier responses."""
+        model = build_diamond_model()
+        with tiny_engine(max_wait_s=0.05) as engine:
+            engine.warmup(model)
+            futures = [engine.submit(model, example_inputs(model, seed=s))
+                       for s in range(6)]
+            first = [dict(f.result(timeout=10.0)) for f in futures]
+            snapshots = [{n: a.copy() for n, a in out.items()} for out in first]
+            # drive more traffic over the same staging buffers
+            for s in range(6, 12):
+                engine.infer(model, example_inputs(model, seed=s))
+            for out, snap in zip(first, snapshots):
+                for name, array in out.items():
+                    np.testing.assert_array_equal(array, snap[name])
+            # per-request results match the unbatched reference
+            for s, out in enumerate(first):
+                reference = engine.infer(model, example_inputs(model, seed=s))
+                for name, ref in reference.items():
+                    np.testing.assert_allclose(out[name], ref,
+                                               rtol=1e-5, atol=1e-6)
+
+    def test_castable_dtype_requests_still_serve_when_fused(self):
+        """Requests whose dtype passes serving validation but not the
+        binding's strict declared-dtype check must keep serving via the
+        stacker's plain-feed fallback, fused batches included."""
+        model = build_diamond_model()  # declares float32 input
+        with tiny_engine(max_wait_s=0.05) as engine:
+            feeds = [{"x": example_inputs(model, seed=s)["x"].astype(np.float64)}
+                     for s in range(4)]
+            engine.infer(model, feeds[0])  # compile the float64 artifact
+            futures = [engine.submit(model, feed) for feed in feeds]
+            results = [f.result(timeout=10.0) for f in futures]
+            for feed, out in zip(feeds, results):
+                reference = engine.infer(model, feed)  # single-request path
+                for name, ref in reference.items():
+                    np.testing.assert_allclose(out[name], ref,
+                                               rtol=1e-5, atol=1e-6)
+
+    def test_plan_path_watchdog_times_out_and_invalidates(self):
+        """A stuck batch on the default plan path must fail the request,
+        break the session and invalidate the artifact — the pool path's
+        recovery semantics, ported to in-process executors."""
+        model = build_diamond_model()
+        with tiny_engine(timeout_s=0.2) as engine:
+            feed = example_inputs(model)
+            engine.infer(model, feed)
+            _, _, signature = engine._validate(model, feed)
+            artifact = engine._artifact_for(model, signature)
+
+            def stuck_run(stacked, **kwargs):
+                time.sleep(1.5)
+                return {}
+
+            artifact.session.run = stuck_run  # wedge the next batch
+            with pytest.raises(RuntimeError, match="timed out"):
+                engine.infer(model, feed)
+            assert artifact.session.broken
+            assert artifact.watchdog.broken
+            # the poisoned artifact was dropped; the next request recompiles
+            outputs = engine.infer(model, feed)
+            assert outputs
+            snapshot = engine.metrics.snapshot()["cache"]
+            assert snapshot["compiles"] == 2
+            assert snapshot["evictions"] == 1
+
+    def test_broken_watchdog_refuses_further_batches(self):
+        from repro.serving.engine import _BatchWatchdog
+
+        watchdog = _BatchWatchdog("test")
+        with pytest.raises(RuntimeError, match="timed out"):
+            watchdog.run(lambda _: time.sleep(1.0), None, timeout=0.05)
+        assert watchdog.broken
+        with pytest.raises(RuntimeError, match="broken"):
+            watchdog.run(lambda _: {}, None, timeout=1.0)
+        watchdog.close()
