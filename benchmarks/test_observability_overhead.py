@@ -1,0 +1,155 @@
+"""Tracing overhead gates for the planned execution hot path.
+
+The observability layer's first design constraint is *zero cost when
+absent*: :class:`~repro.runtime.plan.ExecutionPlan` compiles its traced
+stepper as a separate closure at ``enable_tracing`` time, so the default
+path carries no per-step tracer branches.  These benchmarks hold that
+claim to the same paired-ratio standard as
+``benchmarks/test_execution_throughput.py``:
+
+* a plan that went through an enable→disable tracing round trip must run
+  at parity with a plan that never saw a tracer (the untraced closure is
+  restored, not rebuilt around dead branches), and
+* with tracing *enabled*, the warm hot path must still perform zero arena
+  allocations and zero graph-output allocations — spans record
+  timestamps, they do not perturb buffer reuse.
+
+Environment knobs (shared with the execution benchmark):
+
+* ``REPRO_PERF_ROUNDS`` — timing rounds, best-of (default 5)
+* ``REPRO_PERF_BATCH``  — input batch size (default 8)
+
+Run with ``-s`` to see the measured table.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import format_rows
+from repro.models import build_model
+from repro.observability import Tracer
+from repro.runtime.plan import ExecutionPlan
+from repro.serving.engine import example_inputs
+
+OVERHEAD_MODELS = [name.strip() for name in os.environ.get(
+    "REPRO_OBS_MODELS", "squeezenet").split(",") if name.strip()]
+PERF_ROUNDS = int(os.environ.get("REPRO_PERF_ROUNDS", "5"))
+PERF_BATCH = int(os.environ.get("REPRO_PERF_BATCH", "8"))
+
+#: a tracing-disabled plan must run at parity with a never-traced plan;
+#: this absorbs the same scheduler noise budget as the interpreter
+#: regression gate in the execution benchmark
+DISABLED_OVERHEAD_GATE = 1.08
+
+
+def _paired_timings(fn_a, fn_b, rounds: int):
+    """Interleaved A/B timing pairs (same scheme as the execution bench).
+
+    Returns the best time of each side plus the median per-pair ratio, so
+    slow machine-state drift cancels instead of biasing the gate."""
+    best_a = best_b = float("inf")
+    ratios = []
+    for _ in range(max(rounds, 1)):
+        start = time.perf_counter()
+        fn_a()
+        time_a = time.perf_counter() - start
+        start = time.perf_counter()
+        fn_b()
+        time_b = time.perf_counter() - start
+        best_a = min(best_a, time_a)
+        best_b = min(best_b, time_b)
+        ratios.append(time_a / time_b)
+    ratios.sort()
+    return best_a, best_b, ratios[len(ratios) // 2]
+
+
+def _measure(model_name: str) -> Dict:
+    model = build_model(model_name, variant="default")
+    feed = example_inputs(model, batch_size=PERF_BATCH, seed=1)
+
+    pristine = ExecutionPlan(model)          # never sees a tracer
+    toggled = ExecutionPlan(model)           # enable → disable round trip
+    tracer = Tracer()
+    toggled.enable_tracing(tracer)
+    toggled.run(feed)
+    toggled.disable_tracing()
+
+    for _ in range(2):                       # warm both symmetrically
+        pristine.run(feed)
+        toggled.run(feed)
+
+    pristine_s, toggled_s, disabled_ratio = _paired_timings(
+        lambda: pristine.run(feed), lambda: toggled.run(feed), PERF_ROUNDS)
+
+    # traced runs: informational overhead + the zero-alloc invariant
+    toggled.enable_tracing(tracer)
+    toggled.run(feed)                        # let the traced closure warm
+    allocs_warm = toggled.stats()["arena"]["allocations"]
+    tracer.clear()
+    _, traced_s, traced_ratio = _paired_timings(
+        lambda: pristine.run(feed), lambda: toggled.run(feed), PERF_ROUNDS)
+    stats = toggled.stats()
+    traced_output = toggled.run(feed)
+    toggled.disable_tracing()
+    reference = pristine.run(feed)
+    bitwise_ok = all(
+        np.array_equal(np.asarray(traced_output[name]), np.asarray(value))
+        for name, value in reference.items())
+    return {
+        "model": model_name,
+        "pristine_ms": round(pristine_s * 1e3, 2),
+        "disabled_ms": round(toggled_s * 1e3, 2),
+        "disabled_ratio": round(disabled_ratio, 3),
+        "traced_ms": round(traced_s * 1e3, 2),
+        "traced_ratio": round(traced_ratio, 3),
+        "spans_per_run": stats["steps"],
+        "traced_allocs_delta": stats["arena"]["allocations"] - allocs_warm,
+        "spans_recorded": tracer.stats()["recorded"],
+        "spans_dropped": tracer.stats()["dropped"],
+        "traced_bitwise_ok": bitwise_ok,
+    }
+
+
+@pytest.fixture(scope="module")
+def overhead_rows():
+    return [_measure(name) for name in OVERHEAD_MODELS]
+
+
+def test_disabled_tracing_runs_at_parity(overhead_rows):
+    """After enable→disable, the plan is the untraced closure again: a
+    paired run against a never-traced plan must stay within noise."""
+    print()
+    print(format_rows(overhead_rows))
+    for row in overhead_rows:
+        assert row["disabled_ratio"] * DISABLED_OVERHEAD_GATE >= 1.0, (
+            f"{row['model']}: a tracing-disabled plan is materially slower "
+            f"than a never-traced one ({row['disabled_ratio']}x, "
+            f"{row['disabled_ms']} ms vs {row['pristine_ms']} ms) — the "
+            "untraced closure was not cleanly restored")
+
+
+def test_traced_warm_runs_stay_zero_alloc(overhead_rows):
+    """Tracing must observe the hot path, not change it: warm traced runs
+    allocate nothing from the arena and stay bitwise-identical."""
+    for row in overhead_rows:
+        assert row["traced_allocs_delta"] == 0, (
+            f"{row['model']}: {row['traced_allocs_delta']} arena "
+            "allocations appeared during warm traced runs")
+        assert row["traced_bitwise_ok"], (
+            f"{row['model']}: traced outputs diverged from the untraced "
+            "plan")
+
+
+def test_traced_runs_record_one_span_per_step(overhead_rows):
+    for row in overhead_rows:
+        assert row["spans_per_run"] > 0
+        # the timed section runs PERF_ROUNDS traced passes plus the final
+        # output-capture pass; every one records a span per plan step
+        assert row["spans_recorded"] >= row["spans_per_run"] * PERF_ROUNDS
+        assert row["spans_dropped"] == 0  # capacity covers the whole window

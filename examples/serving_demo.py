@@ -66,7 +66,7 @@ def main() -> None:
           f"across {len(models)} models with zero recompilation")
 
     print("\n--- metrics -------------------------------------------------")
-    print(render_serving_report(engine.metrics.snapshot()))
+    print(render_serving_report(engine.registry))
     engine.shutdown()
 
 

@@ -19,7 +19,11 @@ with every substrate it depends on:
 * :mod:`repro.serving` — a batched inference-serving engine on top of
   compiled schedules: compile-once artifact cache, dynamic micro-batching
   of concurrent requests, and serving metrics (throughput, latency
-  percentiles, batch histogram, cache hit rate).
+  percentiles, batch histogram, cache hit rate),
+* :mod:`repro.observability` — a span tracer with Chrome trace-event
+  export (Perfetto-loadable) and one metrics registry (counters, gauges,
+  histograms, Prometheus text exposition) shared by plan, session and
+  serving.
 
 Quickstart::
 
@@ -57,6 +61,8 @@ __all__ = [
     "Session",
     "IOBinding",
     "create_session",
+    "Tracer",
+    "MetricsRegistry",
 ]
 
 
@@ -80,4 +86,8 @@ def __getattr__(name):
         from repro.runtime import session as _session
 
         return getattr(_session, name)
+    if name in ("Tracer", "MetricsRegistry"):
+        from repro import observability as _observability
+
+        return getattr(_observability, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

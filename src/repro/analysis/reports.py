@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.graph.metrics import format_table
@@ -42,12 +43,75 @@ def _round(value, digits: int = 2):
     return None if value is None else round(value, digits)
 
 
-def render_serving_report(snapshot: Mapping) -> str:
-    """Render a :meth:`repro.serving.ServingMetrics.snapshot` as text.
+def _snapshot_from_registry(registry) -> Dict:
+    """Rebuild the legacy snapshot dict shape from a MetricsRegistry.
+
+    Reads the ``serving_*`` instrument family that
+    :meth:`repro.serving.ServingMetrics.bind_registry` maintains, so the
+    report renders identically whether fed a registry or a raw snapshot.
+    """
+    def value(name, default=None):
+        # registry counters are floats; the legacy snapshot used ints for
+        # counts, and the report renders identically either way
+        raw = registry.get_value(name, default=default)
+        if isinstance(raw, float) and raw.is_integer():
+            return int(raw)
+        return raw
+
+    hits = value("serving_cache_hits_total", default=0)
+    misses = value("serving_cache_misses_total", default=0)
+    lookups = hits + misses
+    latency = {}
+    for labels, gauge in registry.series("serving_latency_ms"):
+        latency[labels.get("quantile", "")] = gauge.value
+    histogram = {}
+    for labels, counter in registry.series("serving_batches_by_size_total"):
+        try:
+            histogram[int(labels.get("size", 0))] = int(counter.value)
+        except (TypeError, ValueError):
+            continue
+    return {
+        "submitted": value("serving_requests_submitted_total", default=0),
+        "completed": value("serving_requests_completed_total", default=0),
+        "failed": value("serving_requests_failed_total", default=0),
+        "throughput_rps": registry.get_value("serving_throughput_rps"),
+        "latency_ms": latency,
+        "batches": value("serving_batches_total", default=0),
+        "mean_batch_size": registry.get_value("serving_batch_size_mean"),
+        "batch_histogram": dict(sorted(histogram.items())),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+            "compiles": value("serving_compiles_total", default=0),
+            "compile_time_s": round(registry.get_value(
+                "serving_compile_seconds_total", default=0.0), 4),
+            "evictions": value("serving_cache_evictions_total", default=0),
+        },
+    }
+
+
+def render_serving_report(snapshot) -> str:
+    """Render serving metrics as text.
+
+    Accepts a :class:`~repro.observability.MetricsRegistry` (the preferred
+    surface — collectors run first, so derived gauges are fresh) and
+    renders from its ``serving_*`` instruments.  Passing a raw
+    :meth:`repro.serving.ServingMetrics.snapshot` dict still works but is
+    deprecated; pass ``engine.registry`` instead.
 
     Produces three aligned tables: request/throughput/latency summary,
     cache statistics, and the batch-size histogram.
     """
+    if hasattr(snapshot, "render_prometheus"):  # a MetricsRegistry
+        snapshot.collect()
+        snapshot = _snapshot_from_registry(snapshot)
+    else:
+        warnings.warn(
+            "passing a ServingMetrics.snapshot() dict to "
+            "render_serving_report is deprecated; pass the engine's "
+            "MetricsRegistry (engine.registry) instead",
+            DeprecationWarning, stacklevel=2)
     latency = snapshot.get("latency_ms", {})
     cache = snapshot.get("cache", {})
     summary_row = {

@@ -10,6 +10,7 @@ Usage examples::
     ramiel run squeezenet --backend process  # compile, execute, report speedup
     ramiel warmup squeezenet bert            # pre-compile into the serving cache
     ramiel serve-bench squeezenet googlenet --requests 32 --concurrency 8
+    ramiel trace squeezenet --runs 20 -o trace.json   # Perfetto-loadable spans
 
 The CLI is a thin wrapper over :func:`repro.pipeline.ramiel_compile`; every
 capability is also available programmatically.
@@ -92,6 +93,30 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--compare-naive", type=int, default=0, metavar="N",
                          help="also measure N naive compile-per-request calls per model")
     serve_p.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run N traced iterations and write a Perfetto-loadable "
+             "trace.json + a metrics report")
+    trace_p.add_argument("model", help="model name (e.g. squeezenet) or path")
+    trace_p.add_argument("--variant", default="small", choices=["default", "small"])
+    trace_p.add_argument("--runs", type=int, default=20,
+                         help="traced iterations (default 20)")
+    trace_p.add_argument("--warmup", type=int, default=2,
+                         help="untraced warmup iterations (default 2)")
+    trace_p.add_argument("--batch-size", type=int, default=1)
+    trace_p.add_argument("--executor", default="plan", metavar="EXECUTOR",
+                         help="session executor: plan (default, with "
+                              "per-step spans) or interp")
+    trace_p.add_argument("-o", "--output", default="trace.json",
+                         help="Chrome trace-event JSON output path "
+                              "(default trace.json; load in "
+                              "https://ui.perfetto.dev)")
+    trace_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="also write the Prometheus text exposition here")
+    trace_p.add_argument("--top", type=int, default=15,
+                         help="per-step table rows to print (default 15)")
+    trace_p.add_argument("--json", action="store_true", help="print a JSON summary")
     return parser
 
 
@@ -218,6 +243,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 row["speedup"] = round(load["rps"] / naive["rps"], 1)
             per_model.append(row)
         snapshot = engine.metrics.snapshot()
+        report = render_serving_report(engine.registry)
     finally:
         engine.shutdown()
 
@@ -228,7 +254,79 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
         print(format_rows(per_model))
         print()
-        print(render_serving_report(snapshot))
+        print(report)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.reports import format_rows
+    from repro.observability import MetricsRegistry, Tracer
+    from repro.runtime.session import create_session
+    from repro.serving import example_inputs
+
+    model = _load_model(args.model, args.variant)
+    feed = example_inputs(model, batch_size=args.batch_size)
+    session = create_session(model, executor=args.executor)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    session.publish_metrics(registry)
+    runs = max(args.runs, 1)
+    try:
+        for _ in range(max(args.warmup, 0)):
+            session.run(feed)  # untraced warmup: specialize arena + layouts
+        session.set_tracer(tracer)
+        for index in range(runs):
+            # Request-shaped root spans so the exported trace shows the
+            # nesting a served request would have: request -> session.run
+            # -> per-plan-step spans, all on one thread track.
+            with tracer.span("request", cat="request",
+                             args={"iteration": str(index)}):
+                session.run(feed)
+        session.set_tracer(None)
+        tracer.write_chrome_trace(args.output, process_name=model.name)
+        exposition = registry.render_prometheus()
+        stats = tracer.stats()
+        step_rows = []
+        plan_spans: dict = {}
+        for event in tracer.events():
+            if event.cat == "plan":
+                plan_spans.setdefault(event.name, []).append(event.dur_ns)
+        for name, durs in plan_spans.items():
+            step_rows.append({
+                "step": name,
+                "count": len(durs),
+                "total_ms": round(sum(durs) / 1e6, 3),
+                "mean_ms": round(sum(durs) / len(durs) / 1e6, 4),
+            })
+        step_rows.sort(key=lambda row: row["total_ms"], reverse=True)
+    finally:
+        session.close()
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(exposition)
+    if args.json:
+        print(json.dumps({
+            "model": model.name,
+            "runs": runs,
+            "trace_path": args.output,
+            "tracer": stats,
+            "steps": step_rows,
+        }, indent=2))
+        return 0
+    print(f"model      {model.name}")
+    print(f"executor   {args.executor}")
+    print(f"runs       {runs}")
+    print(f"trace      {args.output}  (load in https://ui.perfetto.dev)")
+    print(f"spans      {stats['recorded']} recorded, {stats['dropped']} dropped")
+    if step_rows:
+        print()
+        print(f"-- slowest plan steps (top {min(args.top, len(step_rows))} "
+              f"of {len(step_rows)}, by total time) --")
+        print(format_rows(step_rows[:max(args.top, 1)]))
+    print()
+    print("-- metrics --")
+    print(exposition, end="")
     return 0
 
 
@@ -247,6 +345,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_warmup(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

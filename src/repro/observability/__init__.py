@@ -1,0 +1,46 @@
+"""repro.observability — unified tracing and metrics across the stack.
+
+The paper's Ramiel runtime is steered by a profile database holding
+"information about the execution trace and the slacks during
+communication"; this subsystem is the repo's production-shaped version of
+it, one layer with two halves:
+
+* :mod:`repro.observability.trace` — :class:`Tracer`, a low-overhead span
+  recorder (``perf_counter_ns`` intervals in a thread-safe ring buffer)
+  with Chrome trace-event JSON export, loadable in Perfetto.  The hot
+  layers thread spans through it: ``ExecutionPlan`` per-step spans
+  (compiled in at enable time; the untraced path is untouched),
+  ``Session.run`` / ``run_with_binding`` run-level spans, and the serving
+  engine's request lifecycle (submit, queue wait, batch assembly, execute,
+  respond).
+* :mod:`repro.observability.metrics` — :class:`MetricsRegistry`, one
+  registry of counters, gauges and fixed-bucket histograms (bounded
+  memory, bucket-interpolated percentiles) with Prometheus text
+  exposition.  ``ServingMetrics`` mirrors into it, and sessions/engines
+  publish arena, output-binding and worker-pool stats via pull-style
+  collectors — one snapshot where four disjoint ``stats()`` surfaces used
+  to be.
+
+Entry points: ``repro trace <model>`` (CLI) writes a ``trace.json`` +
+metrics report; ``InferenceEngine(..., tracer=...)`` and
+``Session.set_tracer`` attach tracers to live systems.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+]

@@ -32,7 +32,8 @@ and the benchmarks need:
 from repro.runtime.executor import GraphExecutor, execute_model, ExecutionError
 from repro.runtime.intra_op import intra_op_threads, get_num_threads, set_num_threads
 from repro.runtime.plan import ExecutionPlan, PlanError, plan_model
-from repro.runtime.profiler import OpProfile, GraphProfile, profile_model
+from repro.runtime.profiler import (OpProfile, GraphProfile, profile_model,
+                                    profile_plan_steps)
 from repro.runtime.session import (
     IOBinding,
     Session,
@@ -63,4 +64,5 @@ __all__ = [
     "OpProfile",
     "GraphProfile",
     "profile_model",
+    "profile_plan_steps",
 ]

@@ -773,7 +773,7 @@ class ExecutionPlan:
     """
 
     def __init__(self, model, fuse: bool = True, check_supported: bool = True,
-                 heavy_out: bool = True) -> None:
+                 heavy_out: bool = True, tracer=None) -> None:
         self.graph: Graph = model.graph if isinstance(model, Model) else model
         self.model_name = model.name if isinstance(model, Model) else self.graph.name
         order = topological_sort_nodes(self.graph)
@@ -787,6 +787,15 @@ class ExecutionPlan:
         self.fused = fuse
         self.heavy_out = heavy_out
         self._build(order, fuse)
+        #: the step loop actually executed by :meth:`run`.  The untraced
+        #: loop is compiled once here; :meth:`enable_tracing` swaps in a
+        #: separately compiled traced loop, so the default hot path never
+        #: pays a per-step tracing branch — only one attribute load per run.
+        self._exec_untraced = self._compile_exec()
+        self._exec = self._exec_untraced
+        self._tracer = None
+        if tracer is not None:
+            self.enable_tracing(tracer)
 
     # ------------------------------------------------------------------
     # Build
@@ -962,6 +971,17 @@ class ExecutionPlan:
         self._steps = steps
         self._step_nodes = step_nodes
         self._release_after = release_after
+        #: per-step span labels + args, precomputed at build time so the
+        #: traced loop emits without any per-step string formatting
+        self._step_labels: List[str] = []
+        self._step_span_args: List[Dict[str, str]] = []
+        for nodes in step_nodes:
+            head = nodes[0]
+            self._step_labels.append(f"{head.op_type}:{head.name}")
+            span_args = {"op": head.op_type, "node": head.name}
+            if len(nodes) > 1:
+                span_args["fused"] = "+".join(n.op_type for n in nodes[1:])
+            self._step_span_args.append(span_args)
         self._num_nodes = len(order)
         self._fused_node_count = fused_node_count
         self._init_values = dict(graph.initializers)
@@ -1039,6 +1059,142 @@ class ExecutionPlan:
         if heavy:
             self._heavy_step_count += 1
         return _make_arena_head(kernel, node.present_inputs, self._arena)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.observability.Tracer`, if any."""
+        return self._tracer
+
+    def enable_tracing(self, tracer) -> None:
+        """Attach ``tracer`` and swap in the traced step loop.
+
+        The traced loop is a separate closure compiled here — one span per
+        step (category ``"plan"``, label ``"OpType:node_name"``, fused
+        tails named in the span args) via ``perf_counter_ns``.  The
+        untraced loop is untouched, so detaching restores the exact
+        default hot path.
+        """
+        if tracer is None:
+            self.disable_tracing()
+            return
+        self._tracer = tracer
+        self._exec = self._compile_exec(tracer)
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer and restore the untraced step loop."""
+        self._tracer = None
+        self._exec = self._exec_untraced
+
+    # ------------------------------------------------------------------
+    # Step-loop compilation
+    # ------------------------------------------------------------------
+    def _step_failure(self, step_index: int, exc: BaseException) -> PlanError:
+        """Wrap a step failure with node context (KeyError = fused-away)."""
+        nodes = self._step_nodes[step_index]
+        if isinstance(exc, KeyError):
+            return PlanError(
+                f"step for node {nodes[0].name} ({nodes[0].op_type}) requires "
+                f"value {exc} which has not been computed (it may have been "
+                "fused away)")
+        names = "+".join(n.name for n in nodes)
+        return PlanError(
+            f"planned execution of {names} ({nodes[0].op_type}) failed: {exc}")
+
+    def _compile_exec(self, tracer=None) -> Callable:
+        """Compile the step loop into a closure over the plan's tables.
+
+        With ``tracer=None`` this is the default allocation-free loop;
+        with a tracer, each step is bracketed by ``perf_counter_ns`` reads
+        and emitted as one span.  Both variants share the release/pinning
+        logic and the error-context wrapping.
+        """
+        steps = self._steps
+        release_after = self._release_after
+        storage_of = self._storage_of
+        arena = self._arena
+        num_steps = len(steps)
+
+        if tracer is None:
+            def run_steps(values, dest, pinned):
+                step_index = 0
+                try:
+                    for step_index in range(num_steps):
+                        steps[step_index](values, dest)
+                        released = release_after[step_index]
+                        if released:
+                            for owner in released:
+                                if pinned is not None and storage_of[owner] in pinned:
+                                    continue
+                                array = values.get(owner)
+                                if array is not None:
+                                    arena.release(array)
+                except PlanError:
+                    raise
+                except ExecutionError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - add node context
+                    raise self._step_failure(step_index, exc) from exc
+            return run_steps
+
+        labels = self._step_labels
+        span_args = self._step_span_args
+        emit = tracer.emit
+        now = time.perf_counter_ns
+
+        def run_steps_traced(values, dest, pinned):
+            step_index = 0
+            try:
+                for step_index in range(num_steps):
+                    start_ns = now()
+                    steps[step_index](values, dest)
+                    emit(labels[step_index], "plan", start_ns, now(),
+                         args=span_args[step_index])
+                    released = release_after[step_index]
+                    if released:
+                        for owner in released:
+                            if pinned is not None and storage_of[owner] in pinned:
+                                continue
+                            array = values.get(owner)
+                            if array is not None:
+                                arena.release(array)
+            except PlanError:
+                raise
+            except ExecutionError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - add node context
+                raise self._step_failure(step_index, exc) from exc
+        return run_steps_traced
+
+    def _run_steps_hooked(self, values, dest, pinned, trace_hook) -> None:
+        """The ``trace_hook`` step loop (profiler attribution path)."""
+        steps = self._steps
+        release_after = self._release_after
+        storage_of = self._storage_of
+        arena = self._arena
+        step_index = 0
+        try:
+            for step_index in range(len(steps)):
+                start = time.perf_counter()
+                steps[step_index](values, dest)
+                trace_hook(self._step_nodes[step_index][0],
+                           time.perf_counter() - start)
+                released = release_after[step_index]
+                if released:
+                    for owner in released:
+                        if pinned is not None and storage_of[owner] in pinned:
+                            continue
+                        array = values.get(owner)
+                        if array is not None:
+                            arena.release(array)
+        except PlanError:
+            raise
+        except ExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - add node context
+            raise self._step_failure(step_index, exc) from exc
 
     # ------------------------------------------------------------------
     # Execution
@@ -1138,51 +1294,10 @@ class ExecutionPlan:
             pinned = {self._storage_of[name] for name in outputs
                       if name in self._storage_of} or None
 
-        steps = self._steps
-        release_after = self._release_after
-        storage_of = self._storage_of
-        arena = self._arena
-        step_index = 0
-        try:
-            if trace_hook is None:
-                for step_index in range(len(steps)):
-                    steps[step_index](values, dest)
-                    released = release_after[step_index]
-                    if released:
-                        for owner in released:
-                            if pinned is not None and storage_of[owner] in pinned:
-                                continue
-                            array = values.get(owner)
-                            if array is not None:
-                                arena.release(array)
-            else:
-                for step_index in range(len(steps)):
-                    start = time.perf_counter()
-                    steps[step_index](values, dest)
-                    trace_hook(self._step_nodes[step_index][0],
-                               time.perf_counter() - start)
-                    released = release_after[step_index]
-                    if released:
-                        for owner in released:
-                            if pinned is not None and storage_of[owner] in pinned:
-                                continue
-                            array = values.get(owner)
-                            if array is not None:
-                                arena.release(array)
-        except ExecutionError:
-            raise
-        except KeyError as exc:
-            nodes = self._step_nodes[step_index]
-            raise PlanError(
-                f"step for node {nodes[0].name} ({nodes[0].op_type}) requires "
-                f"value {exc} which has not been computed (it may have been "
-                "fused away)") from exc
-        except Exception as exc:  # noqa: BLE001 - augment with node context
-            nodes = self._step_nodes[step_index]
-            names = "+".join(n.name for n in nodes)
-            raise PlanError(
-                f"planned execution of {names} ({nodes[0].op_type}) failed: "
-                f"{exc}") from exc
+        if trace_hook is None:
+            self._exec(values, dest, pinned)
+        else:
+            self._run_steps_hooked(values, dest, pinned, trace_hook)
 
         wanted = list(outputs) if outputs is not None else self._output_names
         missing = [name for name in wanted if name not in values]
@@ -1258,6 +1373,7 @@ class ExecutionPlan:
             "fused_nodes": self._fused_node_count,
             "arena_steps": self._arena_step_count,
             "heavy_steps": self._heavy_step_count,
+            "tracing": self._tracer is not None,
             "arena": self._arena.stats(),
             "output_binding": {
                 "bindable_outputs": self._bindable_outputs,

@@ -125,8 +125,11 @@ def profile_model(
         compile-once, fusion-disabled
         :class:`~repro.runtime.plan.ExecutionPlan`, so the per-node numbers
         exclude the interpreter's dispatch/attribute-parsing overhead and
-        reflect what the planned serving hot path actually pays.  Fusion is
-        disabled so every step maps 1:1 onto a node.
+        reflect what the planned serving hot path actually pays (fusion is
+        disabled so every step maps 1:1 onto a node); ``"plan-fused"``
+        profiles the *production* plan — fusion on, heavy destination
+        passing on — attributing each fused chain's time to its head node,
+        which is exactly what the serving hot path executes.
     """
     session: Optional[Session] = None
     if isinstance(model, Session):
@@ -141,12 +144,16 @@ def profile_model(
     elif engine == "plan":
         executor = ExecutionPlan(model, fuse=False)
         model_name = model.name
+    elif engine == "plan-fused":
+        executor = ExecutionPlan(model, fuse=True)
+        model_name = model.name
     elif engine == "interpreter":
         executor = GraphExecutor(model)
         model_name = model.name
     else:
         raise ValueError(f"unknown profiling engine {engine!r}; "
-                         "use 'interpreter' or 'plan', or pass a Session")
+                         "use 'interpreter', 'plan' or 'plan-fused', or "
+                         "pass a Session")
     plan_backed = isinstance(executor, ExecutionPlan)
     ops: Dict[str, OpProfile] = {}
 
@@ -179,3 +186,80 @@ def profile_model(
         profile.arena_allocs_during_runs = (
             stats["arena"]["allocations"] - allocs_before)
     return profile
+
+
+def profile_plan_steps(
+    plan_or_session,
+    inputs: Mapping[str, np.ndarray],
+    num_runs: int = 20,
+    warmup: int = 2,
+    tracer=None,
+) -> List[Dict]:
+    """Per-step timings of the *fused* plan hot path, via the span tracer.
+
+    Unlike ``profile_model(engine="plan")`` — which disables fusion for 1:1
+    node attribution — this measures the production step loop exactly as
+    serving executes it: fused chains stay fused, heavy destination passing
+    stays on, and each step's span carries its fused tail in the args.
+    Powers the per-step table of the ``repro trace`` CLI verb.
+
+    Accepts an :class:`~repro.runtime.plan.ExecutionPlan` or a ``"plan"``
+    :class:`~repro.runtime.session.Session`; pass a ``tracer`` to reuse an
+    existing buffer (it is cleared between warmup and measurement).
+    Returns one row per plan step, schedule order, with count / total /
+    mean / median milliseconds aggregated over ``num_runs``.
+    """
+    from repro.observability import Tracer
+
+    if isinstance(plan_or_session, Session):
+        plan = plan_or_session.plan
+        if plan is None:
+            raise ValueError(
+                "profile_plan_steps requires a 'plan' session, not "
+                f"executor {plan_or_session.executor!r}")
+    elif isinstance(plan_or_session, ExecutionPlan):
+        plan = plan_or_session
+    else:
+        plan = ExecutionPlan(plan_or_session)
+
+    if tracer is None:
+        tracer = Tracer(capacity=max(4096, len(plan._steps) * max(num_runs, 1) + 64))
+    had_tracer = plan.tracer
+    plan.enable_tracing(tracer)
+    try:
+        for _ in range(max(warmup, 0)):
+            plan.run(inputs)
+        tracer.clear()
+        for _ in range(max(num_runs, 1)):
+            plan.run(inputs)
+        events = [e for e in tracer.events() if e.cat == "plan"]
+    finally:
+        if had_tracer is not None:
+            plan.enable_tracing(had_tracer)
+        else:
+            plan.disable_tracing()
+
+    order: List[str] = []
+    samples: Dict[str, List[int]] = {}
+    meta: Dict[str, Dict] = {}
+    for event in events:
+        if event.name not in samples:
+            order.append(event.name)
+            samples[event.name] = []
+            meta[event.name] = dict(event.args or {})
+        samples[event.name].append(event.dur_ns)
+    rows: List[Dict] = []
+    for label in order:
+        durs = samples[label]
+        info = meta[label]
+        rows.append({
+            "step": label,
+            "op": info.get("op", ""),
+            "node": info.get("node", ""),
+            "fused": info.get("fused", ""),
+            "count": len(durs),
+            "total_ms": sum(durs) / 1e6,
+            "mean_ms": statistics.fmean(durs) / 1e6,
+            "median_ms": statistics.median(durs) / 1e6,
+        })
+    return rows

@@ -229,6 +229,10 @@ class Session:
         self._input_info = {info.name: info for info in graph.inputs}
         self._closed = False
         self._broken: Optional[str] = None
+        self._tracer = None
+        #: precomputed span args so traced runs do no per-call dict building
+        self._span_args = {"model": model_name, "executor": self.executor}
+        self._metrics_collectors: list = []
 
     # ------------------------------------------------------------------
     @property
@@ -271,6 +275,72 @@ class Session:
         self._broken = reason
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.observability.Tracer`, if any."""
+        return self._tracer
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or, with ``None``, detach) a span tracer.
+
+        Run-level spans (``session.run`` / ``session.run_with_binding``,
+        category ``"session"``) are emitted around every execution, and a
+        ``"plan"`` session propagates the tracer into its
+        :class:`ExecutionPlan` so per-step spans nest inside the run span.
+        """
+        self._tracer = tracer
+        if self._plan is not None:
+            if tracer is None:
+                self._plan.disable_tracing()
+            else:
+                self._plan.enable_tracing(tracer)
+
+    def publish_metrics(self, registry, labels: Optional[Mapping[str, str]] = None) -> None:
+        """Mirror this session's counters into a ``MetricsRegistry``.
+
+        Registers a pull-style collector that refreshes gauges from
+        :meth:`stats` before every registry snapshot/exposition: plan shape
+        (steps, fused nodes), arena allocations/reuses, and output-binding
+        direct/copy writes — the counters that previously required calling
+        ``Session.stats()`` by hand.
+        """
+        labels = dict(labels) if labels else {"model": self.model_name}
+        gauge = registry.gauge
+
+        def collect(_registry) -> None:
+            stats = self.stats()
+            plan_stats = stats.get("plan")
+            if plan_stats is not None:
+                gauge("plan_steps", "Compiled plan steps",
+                      labels=labels).set(plan_stats["steps"])
+                gauge("plan_fused_nodes", "Nodes fused into producer steps",
+                      labels=labels).set(plan_stats["fused_nodes"])
+                arena = plan_stats["arena"]
+                gauge("plan_arena_allocations",
+                      "Buffers the plan arena has allocated",
+                      labels=labels).set(arena["allocations"])
+                gauge("plan_arena_reuses",
+                      "Buffer acquisitions served from the arena pools",
+                      labels=labels).set(arena["reuses"])
+                gauge("plan_arena_pooled", "Buffers currently pooled",
+                      labels=labels).set(arena["pooled"])
+                binding = plan_stats["output_binding"]
+                gauge("plan_output_direct_writes",
+                      "Bound outputs written in place by the producing step",
+                      labels=labels).set(binding["direct_writes"])
+                gauge("plan_output_copy_writes",
+                      "Bound outputs finalized by an end-of-run copy",
+                      labels=labels).set(binding["copy_writes"])
+            if stats.get("pool_clusters") is not None:
+                gauge("pool_clusters", "Clusters in the warm worker pool",
+                      labels=labels).set(stats["pool_clusters"])
+
+        registry.register_collector(collect)
+        self._metrics_collectors.append((registry, collect))
+
+    # ------------------------------------------------------------------
     def _check_usable(self) -> None:
         if self._closed:
             raise RuntimeError(
@@ -291,6 +361,14 @@ class Session:
         sessions (defaults to the session's ``timeout_s``).
         """
         self._check_usable()
+        tracer = self._tracer
+        if tracer is not None:
+            with tracer.span("session.run", cat="session",
+                             args=self._span_args):
+                return self._run_dispatch(inputs, outputs, trace_hook, timeout)
+        return self._run_dispatch(inputs, outputs, trace_hook, timeout)
+
+    def _run_dispatch(self, inputs, outputs, trace_hook, timeout):
         if self._plan is not None:
             return self._plan.run(inputs, outputs=outputs,
                                   trace_hook=trace_hook)
@@ -318,6 +396,14 @@ class Session:
         vs unbound runs are bitwise-identical.
         """
         self._check_usable()
+        tracer = self._tracer
+        if tracer is not None:
+            with tracer.span("session.run_with_binding", cat="session",
+                             args=self._span_args):
+                return self._run_with_binding(binding)
+        return self._run_with_binding(binding)
+
+    def _run_with_binding(self, binding: IOBinding) -> Dict[str, np.ndarray]:
         if binding._session is not self:
             raise ValueError("binding belongs to a different session")
         feed = binding._inputs
@@ -375,6 +461,9 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        for registry, collect in self._metrics_collectors:
+            registry.unregister_collector(collect)
+        self._metrics_collectors.clear()
         if self._pool is not None:
             self._pool.close()
 

@@ -159,6 +159,17 @@ class ArtifactCache:
         with self._lock:
             return list(self._entries)
 
+    def values(self) -> List[object]:
+        """Completed artifacts, LRU-oldest first (in-flight/failed skipped).
+
+        Used by the engine's metrics collector to publish per-artifact
+        session counters without blocking on in-flight compilations.
+        """
+        with self._lock:
+            futures = list(self._entries.values())
+        return [future.result() for future in futures
+                if future.done() and future.exception() is None]
+
     def stats(self) -> Dict[str, int]:
         """Lookup/eviction counters."""
         with self._lock:

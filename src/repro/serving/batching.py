@@ -63,6 +63,10 @@ class _Request:
     batch_len: int
     future: Future
     submit_t: float
+    #: tracing state (only populated when the batcher has a tracer): the
+    #: submit timestamp on the trace clock and the request's async-span id
+    submit_ns: int = 0
+    span_id: int = 0
 
 
 def stack_requests(requests: List[_Request]) -> Dict[str, np.ndarray]:
@@ -119,18 +123,27 @@ class MicroBatcher:
         serving engine passes a pinned-staging stacker here so batches are
         written into session-bound buffers instead of a fresh
         ``concatenate`` per batch.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`.  Each request gets
+        an async lifecycle span (``request`` — submit to respond — with a
+        nested ``request.queue`` span for its wait, both keyed by the
+        request's async id so they render correctly across the caller and
+        collector threads), and the collector thread emits ``batch.stack``
+        / ``batch.execute`` / ``batch.respond`` spans per micro-batch.
     """
 
     def __init__(self, run_batch: Callable[[Dict[str, np.ndarray]], Mapping[str, np.ndarray]],
                  policy: Optional[BatchPolicy] = None,
                  metrics: Optional[ServingMetrics] = None,
                  label: str = "batcher",
-                 stack: Optional[Callable[[List[_Request]], object]] = None) -> None:
+                 stack: Optional[Callable[[List[_Request]], object]] = None,
+                 tracer=None) -> None:
         self.policy = policy or BatchPolicy()
         self.label = label
         self._run_batch = run_batch
         self._stack = stack or stack_requests
         self._metrics = metrics
+        self._tracer = tracer
         self._pending: "collections.deque[_Request]" = collections.deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -143,6 +156,10 @@ class MicroBatcher:
         """Enqueue one request; the future resolves to its output dict."""
         request = _Request(inputs=dict(inputs), batch_len=int(batch_len),
                            future=Future(), submit_t=time.perf_counter())
+        tracer = self._tracer
+        if tracer is not None:
+            request.submit_ns = tracer.now()
+            request.span_id = tracer.next_async_id()
         with self._cond:
             if self._closed:
                 raise BatcherClosed(f"batcher {self.label!r} is closed")
@@ -197,9 +214,27 @@ class MicroBatcher:
     def _execute(self, batch: List[_Request]) -> None:
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
+        tracer = self._tracer
+        if tracer is not None:
+            # Queue-wait spans close the moment the batch starts assembling;
+            # async (per-id) spans render correctly even though submit
+            # happened on a different thread.
+            batch_args = {"size": str(len(batch)), "batcher": self.label}
+            t_assemble = tracer.now()
+            for request in batch:
+                tracer.emit_async("request.queue", "request", request.span_id,
+                                  request.submit_ns, t_assemble)
         try:
             stacked = self._stack(batch)
+            if tracer is not None:
+                t_execute = tracer.now()
+                tracer.emit("batch.stack", "serving", t_assemble, t_execute,
+                            args=batch_args)
             outputs = self._run_batch(stacked)
+            if tracer is not None:
+                t_respond = tracer.now()
+                tracer.emit("batch.execute", "serving", t_execute, t_respond,
+                            args=batch_args)
             scattered = scatter_outputs(outputs, batch)
         except BaseException as exc:  # noqa: BLE001 - fail every co-batched request
             for request in batch:
@@ -210,9 +245,21 @@ class MicroBatcher:
             if self._metrics is not None:
                 self._metrics.record_completed(latency, ok=True)
             request.future.set_result(result)
+        if tracer is not None:
+            t_done = tracer.now()
+            tracer.emit("batch.respond", "serving", t_respond, t_done,
+                        args=batch_args)
+            for request in batch:
+                tracer.emit_async("request", "request", request.span_id,
+                                  request.submit_ns, t_done)
 
     def _fail(self, request: _Request, exc: BaseException) -> None:
         if self._metrics is not None:
             self._metrics.record_completed(
                 time.perf_counter() - request.submit_t, ok=False)
+        tracer = self._tracer
+        if tracer is not None and request.span_id:
+            tracer.emit_async("request", "request", request.span_id,
+                              request.submit_ns, tracer.now(),
+                              args={"failed": "true"})
         request.future.set_exception(exc)

@@ -274,12 +274,23 @@ class InferenceEngine:
     concurrently, which is precisely what feeds the micro-batcher.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+    def __init__(self, config: Optional[EngineConfig] = None, *,
+                 registry=None, tracer=None) -> None:
         self.config = config or EngineConfig()
         # EngineConfig validates eagerly in __post_init__; re-validate here
         # for callers that mutated the dataclass after construction.
         validate_executor(self.config.executor, context="serving executor")
-        self.metrics = ServingMetrics()
+        # One MetricsRegistry per engine (or a caller-shared one): serving
+        # counters mirror into it, and a pull collector publishes every
+        # cached artifact's plan/arena/binding gauges — the single snapshot
+        # that used to take three separate stats() APIs.
+        if registry is None:
+            from repro.observability import MetricsRegistry
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.tracer = tracer
+        self.metrics = ServingMetrics(registry=registry)
+        registry.register_collector(self._collect_artifact_metrics)
         self._config_fp = config_fingerprint(self.config.pipeline)
         self._cache = ArtifactCache(
             capacity=self.config.cache_capacity,
@@ -299,6 +310,14 @@ class InferenceEngine:
         """
         if self._closed:
             raise ServingError("engine is shut down")
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("request.submit", cat="serving",
+                             args={"model": model.name}):
+                arrays, batch_len, signature = self._validate(model, inputs)
+                self.metrics.record_submitted()
+                future, _ = self._route(model, signature, arrays, batch_len)
+                return future
         arrays, batch_len, signature = self._validate(model, inputs)
         self.metrics.record_submitted()
         future, _ = self._route(model, signature, arrays, batch_len)
@@ -408,6 +427,10 @@ class InferenceEngine:
             build_plan=executor == "plan"))
         session = create_session(result, executor=executor,
                                  timeout_s=self.config.timeout_s)
+        if self.tracer is not None:
+            # Run-level session spans (and per-step plan spans for "plan"
+            # executors) nest inside the batcher's batch.execute span.
+            session.set_tracer(self.tracer)
         artifact_cell: list = []
         label = f"{model.name}@{key.short()}"
         watchdog: Optional[_BatchWatchdog] = None
@@ -477,7 +500,8 @@ class InferenceEngine:
                   else BatchPolicy(max_batch_size=1, max_wait_s=0.0))
         batcher = MicroBatcher(run_batch, policy=policy,
                                metrics=self.metrics, label=label,
-                               stack=stacker if batchable else None)
+                               stack=stacker if batchable else None,
+                               tracer=self.tracer)
         artifact = CompiledArtifact(key=key, result=result, session=session,
                                     watchdog=watchdog, batcher=batcher,
                                     compile_time_s=compile_time,
@@ -522,6 +546,46 @@ class InferenceEngine:
     def _on_evict(self, key: ArtifactKey, artifact: CompiledArtifact) -> None:
         self.metrics.record_eviction()
         artifact.close()
+
+    def _collect_artifact_metrics(self, registry) -> None:
+        """Publish per-artifact plan/arena/binding gauges into the registry.
+
+        Runs as a pull collector before every registry snapshot/exposition,
+        so one ``registry.snapshot()`` exposes the serving counters, every
+        cached artifact's arena allocations/reuses and its output-binding
+        direct/copy writes together.
+        """
+        gauge = registry.gauge
+        cache = self._cache.stats()
+        gauge("serving_cached_artifacts",
+              "Compiled artifacts currently cached").set(cache["size"])
+        for artifact in self._cache.values():
+            session = artifact.session
+            if session is None or session.closed:
+                continue
+            stats = session.stats()
+            labels = {"model": artifact.model_name,
+                      "artifact": artifact.key.short()}
+            plan_stats = stats.get("plan")
+            if plan_stats is not None:
+                arena = plan_stats["arena"]
+                gauge("serving_plan_arena_allocations",
+                      "Arena buffer allocations of a cached artifact's plan",
+                      labels=labels).set(arena["allocations"])
+                gauge("serving_plan_arena_reuses",
+                      "Arena buffer reuses of a cached artifact's plan",
+                      labels=labels).set(arena["reuses"])
+                binding = plan_stats["output_binding"]
+                gauge("serving_plan_output_direct_writes",
+                      "Bound outputs written in place by a cached plan",
+                      labels=labels).set(binding["direct_writes"])
+                gauge("serving_plan_output_copy_writes",
+                      "Bound outputs finalized by copy in a cached plan",
+                      labels=labels).set(binding["copy_writes"])
+            if stats.get("pool_clusters") is not None:
+                gauge("serving_pool_clusters",
+                      "Warm worker-pool clusters of a cached artifact",
+                      labels=labels).set(stats["pool_clusters"])
 
     # ------------------------------------------------------------------
     # Validation

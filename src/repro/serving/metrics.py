@@ -6,16 +6,36 @@ artifact cache.  Everything is recorded under a single lock (the recorded
 quantities are tiny compared to operator execution) and exported as a plain
 dict via :meth:`ServingMetrics.snapshot`, which
 :func:`repro.analysis.reports.render_serving_report` renders as text.
+
+Memory is **bounded**: latency samples live in a fixed-capacity reservoir
+(Vitter's algorithm R — a uniform sample of the whole stream, so the
+percentiles stay statistically representative over arbitrarily long
+``serve-bench`` runs), while count / sum / max run as exact scalars and the
+batch histogram is a counter keyed by the handful of distinct sizes.
+
+Binding a :class:`~repro.observability.MetricsRegistry` (see
+:meth:`bind_registry`, done automatically by the engine) mirrors every
+recording into Prometheus-style instruments — ``serving_*`` counters, a
+``serving_request_latency_seconds`` histogram and derived gauges refreshed
+by a pull collector — so one registry snapshot covers serving alongside the
+plan/arena/binding counters the sessions publish.
 """
 
 from __future__ import annotations
 
 import collections
+import random
 import threading
 import time
 from typing import Dict, List, Optional
 
 import numpy as np
+
+#: Default capacity of the latency/batch sample reservoirs.  At 2048
+#: float64 samples the retained window is ~16 KB per metric while p99
+#: estimates stay within a fraction of a percentile of exact on uniform
+#: reservoir samples.
+DEFAULT_SAMPLE_CAPACITY = 2048
 
 
 def percentile(samples: List[float], q: float) -> Optional[float]:
@@ -25,21 +45,80 @@ def percentile(samples: List[float], q: float) -> Optional[float]:
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
 
 
-class ServingMetrics:
-    """Accumulates per-request, per-batch and cache statistics."""
+class _Reservoir:
+    """Fixed-capacity uniform sample of a stream (Vitter's algorithm R).
 
-    def __init__(self) -> None:
+    Not thread-safe on its own — callers hold the metrics lock.  The RNG is
+    private and deterministically seeded so metric snapshots are
+    reproducible run-to-run given the same request stream.
+    """
+
+    __slots__ = ("capacity", "count", "samples", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_SAMPLE_CAPACITY,
+                 seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+    def clear(self) -> None:
+        self.count = 0
+        self.samples = []
+
+
+class ServingMetrics:
+    """Accumulates per-request, per-batch and cache statistics.
+
+    Parameters
+    ----------
+    sample_capacity:
+        Reservoir size for latency samples; memory stays bounded at this
+        many floats no matter how long the engine serves.
+    registry:
+        Optional :class:`~repro.observability.MetricsRegistry` to mirror
+        into from the start (equivalent to calling :meth:`bind_registry`).
+    """
+
+    def __init__(self, sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
+                 registry=None) -> None:
         self._lock = threading.Lock()
+        self._sample_capacity = int(sample_capacity)
+        self._registry = None
+        self._mirror = None
         self.reset()
+        if registry is not None:
+            self.bind_registry(registry)
 
     def reset(self) -> None:
-        """Drop all recorded samples and counters."""
+        """Drop all recorded samples and counters.
+
+        A bound registry's ``serving_*`` mirror family is reset too, so a
+        post-warmup reset re-zeroes the measured window everywhere.
+        """
         with self._lock:
+            if self._mirror is not None:
+                self._mirror.reset()
             self._submitted = 0
             self._completed = 0
             self._failed = 0
-            self._latencies_s: List[float] = []
-            self._batch_sizes: List[int] = []
+            self._latency_reservoir = _Reservoir(self._sample_capacity)
+            self._latency_sum_s = 0.0
+            self._latency_max_s: Optional[float] = None
+            self._batches = 0
+            self._batch_size_sum = 0
+            self._batch_histogram: collections.Counter = collections.Counter()
             self._cache_hits = 0
             self._cache_misses = 0
             self._compiles = 0
@@ -47,6 +126,45 @@ class ServingMetrics:
             self._evictions = 0
             self._first_submit_t: Optional[float] = None
             self._last_done_t: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Registry mirroring
+    # ------------------------------------------------------------------
+    def bind_registry(self, registry) -> None:
+        """Mirror every recording into ``registry`` from now on.
+
+        Creates the ``serving_*`` instrument family (monotonic counters, a
+        ``serving_request_latency_seconds`` histogram, per-size batch
+        counters) and registers a pull collector that refreshes the derived
+        gauges — throughput, latency quantiles, cache hit rate, mean batch
+        size — from :meth:`snapshot` before every registry export.
+        """
+        with self._lock:
+            if self._registry is registry:
+                return
+            if self._registry is not None:
+                raise ValueError(
+                    "ServingMetrics is already bound to a different "
+                    "MetricsRegistry")
+            self._registry = registry
+            self._mirror = _RegistryMirror(registry)
+            registry.register_collector(self._refresh_derived)
+
+    @property
+    def registry(self):
+        """The bound :class:`MetricsRegistry`, if any."""
+        return self._registry
+
+    def _refresh_derived(self, _registry) -> None:
+        snap = self.snapshot()
+        mirror = self._mirror
+        if mirror is None:
+            return
+        mirror.throughput.set(snap["throughput_rps"])
+        for quantile, value in snap["latency_ms"].items():
+            mirror.latency_gauge(quantile).set(value)
+        mirror.batch_size_mean.set(snap["mean_batch_size"])
+        mirror.cache_hit_rate.set(snap["cache"]["hit_rate"])
 
     # ------------------------------------------------------------------
     # Recording
@@ -57,6 +175,9 @@ class ServingMetrics:
             self._submitted += 1
             if self._first_submit_t is None:
                 self._first_submit_t = time.perf_counter()
+            mirror = self._mirror
+        if mirror is not None:
+            mirror.submitted.inc()
 
     def record_completed(self, latency_s: float, ok: bool = True) -> None:
         """One request finished after ``latency_s``.
@@ -67,15 +188,32 @@ class ServingMetrics:
         with self._lock:
             if ok:
                 self._completed += 1
-                self._latencies_s.append(latency_s)
+                self._latency_reservoir.add(latency_s)
+                self._latency_sum_s += latency_s
+                if self._latency_max_s is None or latency_s > self._latency_max_s:
+                    self._latency_max_s = latency_s
             else:
                 self._failed += 1
             self._last_done_t = time.perf_counter()
+            mirror = self._mirror
+        if mirror is not None:
+            if ok:
+                mirror.completed.inc()
+                mirror.latency_hist.observe(latency_s)
+            else:
+                mirror.failed.inc()
 
     def record_batch(self, size: int) -> None:
         """One micro-batch of ``size`` requests was executed."""
+        size = int(size)
         with self._lock:
-            self._batch_sizes.append(int(size))
+            self._batches += 1
+            self._batch_size_sum += size
+            self._batch_histogram[size] += 1
+            mirror = self._mirror
+        if mirror is not None:
+            mirror.batches.inc()
+            mirror.batch_size_counter(size).inc()
 
     def record_cache(self, hit: bool) -> None:
         """One compiled-artifact cache lookup."""
@@ -84,17 +222,27 @@ class ServingMetrics:
                 self._cache_hits += 1
             else:
                 self._cache_misses += 1
+            mirror = self._mirror
+        if mirror is not None:
+            (mirror.cache_hits if hit else mirror.cache_misses).inc()
 
     def record_compile(self, seconds: float) -> None:
         """One Ramiel compilation was performed (a cache miss was filled)."""
         with self._lock:
             self._compiles += 1
             self._compile_time_s += seconds
+            mirror = self._mirror
+        if mirror is not None:
+            mirror.compiles.inc()
+            mirror.compile_seconds.inc(seconds)
 
     def record_eviction(self) -> None:
         """One artifact was evicted from the cache."""
         with self._lock:
             self._evictions += 1
+            mirror = self._mirror
+        if mirror is not None:
+            mirror.evictions.inc()
 
     # ------------------------------------------------------------------
     # Export
@@ -105,31 +253,35 @@ class ServingMetrics:
         Throughput is completed requests divided by the span from the first
         ``submit`` to the last completion — the steady-state serving rate,
         not an average over idle time before/after the load.  Latency
-        percentiles cover successfully completed requests only.
+        percentiles cover the retained reservoir window of successfully
+        completed requests (a uniform sample of the whole run); mean and
+        max are exact over every completion.
         """
         with self._lock:
-            latencies_ms = [s * 1e3 for s in self._latencies_s]
+            latencies_ms = [s * 1e3 for s in self._latency_reservoir.samples]
+            completed = self._completed
             span = None
             if self._first_submit_t is not None and self._last_done_t is not None:
                 span = max(self._last_done_t - self._first_submit_t, 1e-9)
             lookups = self._cache_hits + self._cache_misses
             return {
                 "submitted": self._submitted,
-                "completed": self._completed,
+                "completed": completed,
                 "failed": self._failed,
-                "throughput_rps": (self._completed / span) if span else None,
+                "throughput_rps": (completed / span) if span else None,
                 "latency_ms": {
                     "p50": percentile(latencies_ms, 50),
                     "p95": percentile(latencies_ms, 95),
                     "p99": percentile(latencies_ms, 99),
-                    "mean": float(np.mean(latencies_ms)) if latencies_ms else None,
-                    "max": max(latencies_ms) if latencies_ms else None,
+                    "mean": (self._latency_sum_s * 1e3 / completed
+                             if completed else None),
+                    "max": (self._latency_max_s * 1e3
+                            if self._latency_max_s is not None else None),
                 },
-                "batches": len(self._batch_sizes),
-                "mean_batch_size": (float(np.mean(self._batch_sizes))
-                                    if self._batch_sizes else None),
-                "batch_histogram": dict(sorted(
-                    collections.Counter(self._batch_sizes).items())),
+                "batches": self._batches,
+                "mean_batch_size": (self._batch_size_sum / self._batches
+                                    if self._batches else None),
+                "batch_histogram": dict(sorted(self._batch_histogram.items())),
                 "cache": {
                     "hits": self._cache_hits,
                     "misses": self._cache_misses,
@@ -139,3 +291,79 @@ class ServingMetrics:
                     "evictions": self._evictions,
                 },
             }
+
+
+class _RegistryMirror:
+    """The ``serving_*`` instrument family inside one bound registry."""
+
+    def __init__(self, registry) -> None:
+        self._registry = registry
+        counter = registry.counter
+        gauge = registry.gauge
+        self.submitted = counter(
+            "serving_requests_submitted_total",
+            "Requests that entered the engine")
+        self.completed = counter(
+            "serving_requests_completed_total",
+            "Requests that completed successfully")
+        self.failed = counter(
+            "serving_requests_failed_total", "Requests that failed")
+        self.latency_hist = registry.histogram(
+            "serving_request_latency_seconds",
+            "End-to-end request latency (submit to result)")
+        self.batches = counter(
+            "serving_batches_total", "Micro-batches executed")
+        self.cache_hits = counter(
+            "serving_cache_hits_total", "Artifact cache hits")
+        self.cache_misses = counter(
+            "serving_cache_misses_total", "Artifact cache misses")
+        self.compiles = counter(
+            "serving_compiles_total", "Ramiel compilations performed")
+        self.compile_seconds = counter(
+            "serving_compile_seconds_total",
+            "Total time spent compiling artifacts")
+        self.evictions = counter(
+            "serving_cache_evictions_total", "Artifacts evicted from the cache")
+        self.throughput = gauge(
+            "serving_throughput_rps",
+            "Completed requests per second, first submit to last completion")
+        self.batch_size_mean = gauge(
+            "serving_batch_size_mean", "Mean executed micro-batch size")
+        self.cache_hit_rate = gauge(
+            "serving_cache_hit_rate", "Artifact cache hit rate")
+        self._latency_gauges: Dict[str, object] = {}
+        self._batch_counters: Dict[int, object] = {}
+
+    def latency_gauge(self, quantile: str):
+        gauge = self._latency_gauges.get(quantile)
+        if gauge is None:
+            gauge = self._registry.gauge(
+                "serving_latency_ms",
+                "Request latency summary in milliseconds",
+                labels={"quantile": quantile})
+            self._latency_gauges[quantile] = gauge
+        return gauge
+
+    def batch_size_counter(self, size: int):
+        counter = self._batch_counters.get(size)
+        if counter is None:
+            counter = self._registry.counter(
+                "serving_batches_by_size_total",
+                "Micro-batches executed, by batch size",
+                labels={"size": str(size)})
+            self._batch_counters[size] = counter
+        return counter
+
+    def reset(self) -> None:
+        """Zero every instrument in the ``serving_*`` mirror family."""
+        for instrument in (self.submitted, self.completed, self.failed,
+                           self.latency_hist, self.batches, self.cache_hits,
+                           self.cache_misses, self.compiles,
+                           self.compile_seconds, self.evictions,
+                           self.throughput, self.batch_size_mean,
+                           self.cache_hit_rate):
+            instrument.reset()
+        for gauge in self._latency_gauges.values():
+            gauge.reset()
+        for counter in self._batch_counters.values():
+            counter.reset()
