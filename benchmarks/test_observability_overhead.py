@@ -9,10 +9,16 @@ claim to the same paired-ratio standard as
 
 * a plan that went through an enable→disable tracing round trip must run
   at parity with a plan that never saw a tracer (the untraced closure is
-  restored, not rebuilt around dead branches), and
+  restored, not rebuilt around dead branches),
 * with tracing *enabled*, the warm hot path must still perform zero arena
   allocations and zero graph-output allocations — spans record
-  timestamps, they do not perturb buffer reuse.
+  timestamps, they do not perturb buffer reuse, and
+* an untraced :class:`~repro.runtime.worker_pool.WarmExecutorPool`
+  dispatch must run at parity with a pool that went through a
+  ``set_tracer`` attach→detach round trip: the cross-boundary tracing
+  rides the job tuple as a ``None`` and costs one ``is None`` check per
+  worker job when absent (a looser gate than the plan's, since pool runs
+  include queue hand-off noise).
 
 Environment knobs (shared with the execution benchmark):
 
@@ -153,3 +159,94 @@ def test_traced_runs_record_one_span_per_step(overhead_rows):
         # output-capture pass; every one records a span per plan step
         assert row["spans_recorded"] >= row["spans_per_run"] * PERF_ROUNDS
         assert row["spans_dropped"] == 0  # capacity covers the whole window
+
+
+# ---------------------------------------------------------------------------
+# Warm worker-pool dispatch parity
+# ---------------------------------------------------------------------------
+#: untraced pool dispatch vs a never-traced pool; looser than the plan
+#: gate because every pool run includes thread-queue hand-off jitter
+POOL_PARITY_GATE = 1.25
+
+
+def _measure_pool(model_name: str) -> Dict:
+    from repro.observability.merge import merge_traces
+    from repro.pipeline import PipelineConfig, ramiel_compile
+    from repro.runtime.worker_pool import WarmExecutorPool
+
+    model = build_model(model_name, variant="default")
+    feed = example_inputs(model, batch_size=PERF_BATCH, seed=1)
+    result = ramiel_compile(model, config=PipelineConfig(
+        generate_code=True, build_plan=False))
+    weights = result.optimized_model.graph.initializers
+
+    pristine = WarmExecutorPool(result.parallel_module, weights)
+    toggled = WarmExecutorPool(result.parallel_module, weights)
+    tracer = Tracer()
+    try:
+        toggled.set_tracer(tracer)        # attach → run → detach round trip
+        toggled.run(feed)
+        toggled.set_tracer(None)
+        for _ in range(2):                # warm both symmetrically
+            pristine.run(feed)
+            toggled.run(feed)
+        pristine_s, toggled_s, ratio = _paired_timings(
+            lambda: pristine.run(feed), lambda: toggled.run(feed),
+            PERF_ROUNDS)
+
+        # traced-pool sanity: workers ship spans that merge into one trace
+        toggled.set_tracer(tracer)
+        toggled.clear_worker_traces()
+        tracer.clear()
+        traced_output = toggled.run(feed)
+        buffers = toggled.worker_trace_buffers()
+        merged = merge_traces(tracer, buffers)
+        reference = pristine.run(feed)
+        bitwise_ok = all(
+            np.array_equal(np.asarray(traced_output[name]), np.asarray(value))
+            for name, value in reference.items())
+    finally:
+        pristine.close()
+        toggled.close()
+    worker_spans = sum(len(b.events) for b in buffers)
+    return {
+        "model": model_name,
+        "pristine_ms": round(pristine_s * 1e3, 2),
+        "untraced_ms": round(toggled_s * 1e3, 2),
+        "untraced_ratio": round(ratio, 3),
+        "workers": len(buffers),
+        "worker_spans": worker_spans,
+        "worker_drops": sum(b.dropped for b in buffers),
+        "merged_events": len(merged["traceEvents"]),
+        "traced_bitwise_ok": bitwise_ok,
+    }
+
+
+@pytest.fixture(scope="module")
+def pool_rows():
+    return [_measure_pool(name) for name in OVERHEAD_MODELS]
+
+
+def test_untraced_pool_dispatch_runs_at_parity(pool_rows):
+    """After attach→detach, pool jobs carry ``ctx=None`` again: a paired
+    run against a never-traced pool must stay within queue noise."""
+    print()
+    print(format_rows(pool_rows))
+    for row in pool_rows:
+        assert row["untraced_ratio"] * POOL_PARITY_GATE >= 1.0, (
+            f"{row['model']}: a tracer-detached pool is materially slower "
+            f"than a never-traced one ({row['untraced_ratio']}x, "
+            f"{row['untraced_ms']} ms vs {row['pristine_ms']} ms) — the "
+            "untraced dispatch path is carrying tracing weight")
+
+
+def test_traced_pool_ships_worker_spans(pool_rows):
+    for row in pool_rows:
+        assert row["workers"] > 0
+        # one worker.execute span per worker for the single traced run
+        assert row["worker_spans"] >= row["workers"]
+        assert row["worker_drops"] == 0
+        assert row["merged_events"] > row["worker_spans"]  # + coordinator
+        assert row["traced_bitwise_ok"], (
+            f"{row['model']}: traced pool outputs diverged from the "
+            "untraced pool")

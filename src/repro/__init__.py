@@ -63,6 +63,9 @@ __all__ = [
     "create_session",
     "Tracer",
     "MetricsRegistry",
+    "TraceContext",
+    "merge_traces",
+    "load_trajectory",
 ]
 
 
@@ -86,7 +89,8 @@ def __getattr__(name):
         from repro.runtime import session as _session
 
         return getattr(_session, name)
-    if name in ("Tracer", "MetricsRegistry"):
+    if name in ("Tracer", "MetricsRegistry", "TraceContext",
+                "merge_traces", "load_trajectory", "analyze_trajectory"):
         from repro import observability as _observability
 
         return getattr(_observability, name)

@@ -11,6 +11,8 @@ Usage examples::
     ramiel warmup squeezenet bert            # pre-compile into the serving cache
     ramiel serve-bench squeezenet googlenet --requests 32 --concurrency 8
     ramiel trace squeezenet --runs 20 -o trace.json   # Perfetto-loadable spans
+    ramiel trace squeezenet --executor process        # merged multi-process trace
+    ramiel bench-report bench_history/ --threshold 0.1   # perf-trajectory gate
 
 The CLI is a thin wrapper over :func:`repro.pipeline.ramiel_compile`; every
 capability is also available programmatically.
@@ -107,7 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--batch-size", type=int, default=1)
     trace_p.add_argument("--executor", default="plan", metavar="EXECUTOR",
                          help="session executor: plan (default, with "
-                              "per-step spans) or interp")
+                              "per-step spans), interp, or pool | process "
+                              "(merged multi-worker trace with per-worker "
+                              "pid/tid lanes)")
     trace_p.add_argument("-o", "--output", default="trace.json",
                          help="Chrome trace-event JSON output path "
                               "(default trace.json; load in "
@@ -117,6 +121,23 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--top", type=int, default=15,
                          help="per-step table rows to print (default 15)")
     trace_p.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    bench_p = sub.add_parser(
+        "bench-report",
+        help="analyze a series of BENCH_exec.json artifacts and gate on "
+             "perf-trajectory regressions")
+    bench_p.add_argument("paths", nargs="+", metavar="PATH",
+                         help="BENCH_exec.json files and/or directories of "
+                              "them (e.g. a downloaded artifact history)")
+    bench_p.add_argument("--threshold", type=float, default=0.10,
+                         help="relative drop below the rolling baseline "
+                              "that counts as a regression (default 0.10)")
+    bench_p.add_argument("--window", type=int, default=3,
+                         help="rolling-baseline width in entries (default 3)")
+    bench_p.add_argument("--warn-only", action="store_true",
+                         help="print regressions but exit 0 (soft gate)")
+    bench_p.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
     return parser
 
 
@@ -261,29 +282,55 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.reports import format_rows
     from repro.observability import MetricsRegistry, Tracer
-    from repro.runtime.session import create_session
+    from repro.runtime.session import create_session, validate_executor
+
+    # Validate eagerly against the central registry: a typo'd executor
+    # fails here with the known names, not deep inside session dispatch.
+    try:
+        validate_executor(args.executor, context="--executor")
+    except ValueError as exc:
+        print(f"ramiel trace: {exc}", file=sys.stderr)
+        return 2
     from repro.serving import example_inputs
 
     model = _load_model(args.model, args.variant)
     feed = example_inputs(model, batch_size=args.batch_size)
-    session = create_session(model, executor=args.executor)
+    pooled = args.executor in ("pool", "process")
     tracer = Tracer()
+    # Pooled executors take the tracer at construction so the process
+    # backend's channels are instrumented before its workers fork; the
+    # tracer stays disabled through warmup so only measured runs record.
+    tracer.disable()
+    session = create_session(model, executor=args.executor, tracer=tracer)
     registry = MetricsRegistry()
     session.publish_metrics(registry)
     runs = max(args.runs, 1)
+    worker_drops: dict = {}
     try:
         for _ in range(max(args.warmup, 0)):
             session.run(feed)  # untraced warmup: specialize arena + layouts
-        session.set_tracer(tracer)
+        if session.pool is not None:
+            session.pool.clear_worker_traces()
+        tracer.clear()
+        tracer.enable()
         for index in range(runs):
             # Request-shaped root spans so the exported trace shows the
             # nesting a served request would have: request -> session.run
-            # -> per-plan-step spans, all on one thread track.
+            # -> per-plan-step spans (or per-worker execute spans on their
+            # own pid/tid lanes for the pooled executors).
             with tracer.span("request", cat="request",
                              args={"iteration": str(index)}):
                 session.run(feed)
-        session.set_tracer(None)
-        tracer.write_chrome_trace(args.output, process_name=model.name)
+        tracer.disable()
+        if pooled:
+            from repro.observability.merge import write_merged_trace
+
+            buffers = session.worker_trace_buffers()
+            merged = write_merged_trace(args.output, tracer, buffers,
+                                        process_name=model.name)
+            worker_drops = merged["metadata"]["worker_drops"]
+        else:
+            tracer.write_chrome_trace(args.output, process_name=model.name)
         exposition = registry.render_prometheus()
         stats = tracer.stats()
         step_rows = []
@@ -306,19 +353,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(exposition)
     if args.json:
-        print(json.dumps({
+        summary = {
             "model": model.name,
             "runs": runs,
             "trace_path": args.output,
             "tracer": stats,
             "steps": step_rows,
-        }, indent=2))
+        }
+        if pooled:
+            summary["worker_drops"] = worker_drops
+        print(json.dumps(summary, indent=2))
         return 0
     print(f"model      {model.name}")
     print(f"executor   {args.executor}")
     print(f"runs       {runs}")
     print(f"trace      {args.output}  (load in https://ui.perfetto.dev)")
     print(f"spans      {stats['recorded']} recorded, {stats['dropped']} dropped")
+    if pooled:
+        drops = ", ".join(f"{worker}: {count}"
+                          for worker, count in sorted(worker_drops.items()))
+        print(f"workers    {len(worker_drops)} merged lanes "
+              f"(drops — {drops})")
     if step_rows:
         print()
         print(f"-- slowest plan steps (top {min(args.top, len(step_rows))} "
@@ -328,6 +383,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("-- metrics --")
     print(exposition, end="")
     return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.observability.trajectory import (
+        analyze_trajectory,
+        load_trajectory,
+        render_trend_table,
+    )
+
+    entries = load_trajectory(args.paths)
+    if not entries:
+        # An empty artifact history (first CI run, expired retention) is
+        # not a regression; report it and let the gate pass.
+        print("bench-report: no parsable BENCH_exec.json entries under "
+              + ", ".join(args.paths))
+        return 0
+    try:
+        report = analyze_trajectory(entries, threshold=args.threshold,
+                                    window=args.window)
+    except ValueError as exc:
+        print(f"bench-report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(render_trend_table(report))
+    if report.ok:
+        return 0
+    if args.warn_only:
+        print("bench-report: --warn-only set; not failing the gate",
+              file=sys.stderr)
+        return 0
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -347,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench-report":
+        return _cmd_bench_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

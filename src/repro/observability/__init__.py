@@ -21,9 +21,26 @@ it, one layer with two halves:
   collectors — one snapshot where four disjoint ``stats()`` surfaces used
   to be.
 
+Three further modules extend the layer across execution boundaries
+(lazily exported — see ``__getattr__`` below):
+
+* :mod:`repro.observability.context` — :class:`TraceContext`, the small
+  picklable token worker pools attach to dispatched work so per-worker
+  spans correlate back to the request that caused them;
+* :mod:`repro.observability.merge` — :class:`WorkerTraceBuffer` and
+  :func:`merge_traces`, which align per-worker clocks and merge shipped
+  span buffers into one multi-process Chrome trace with per-worker drop
+  accounting;
+* :mod:`repro.observability.trajectory` — :func:`load_trajectory` /
+  :func:`analyze_trajectory`, the read side of the CI ``BENCH_exec.json``
+  artifact: rolling-baseline deltas per benchmark, rendered and gated by
+  ``ramiel bench-report``.
+
 Entry points: ``repro trace <model>`` (CLI) writes a ``trace.json`` +
-metrics report; ``InferenceEngine(..., tracer=...)`` and
-``Session.set_tracer`` attach tracers to live systems.
+metrics report (``--executor pool|process`` emits the merged multi-worker
+view); ``ramiel bench-report`` gates a perf trajectory;
+``InferenceEngine(..., tracer=...)`` and ``Session.set_tracer`` attach
+tracers to live systems.
 """
 
 from repro.observability.metrics import (
@@ -41,6 +58,38 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "WorkerTraceBuffer",
+    "analyze_trajectory",
+    "load_trajectory",
+    "merge_traces",
+    "write_merged_trace",
 ]
+
+#: lazily-exported name -> defining submodule (the PR 6 export pattern:
+#: ``import repro.observability`` must not pay for modules a user never
+#: touches — gated by the import-cost check in tests/test_observability.py)
+_LAZY_EXPORTS = {
+    "TraceContext": "repro.observability.context",
+    "WorkerTraceBuffer": "repro.observability.merge",
+    "merge_traces": "repro.observability.merge",
+    "write_merged_trace": "repro.observability.merge",
+    "load_trajectory": "repro.observability.trajectory",
+    "analyze_trajectory": "repro.observability.trajectory",
+    "render_trend_table": "repro.observability.trajectory",
+    "TrajectoryReport": "repro.observability.trajectory",
+    "TrendRow": "repro.observability.trajectory",
+}
+
+
+def __getattr__(name):
+    """Lazily expose the cross-boundary and trajectory modules."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.observability' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

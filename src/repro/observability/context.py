@@ -1,0 +1,78 @@
+"""Trace-context propagation across execution boundaries.
+
+PR 6's tracing instruments the in-process layers (plan steps, session
+runs, serving lifecycles), but the paper's runtime is fundamentally
+multi-worker: clusters execute on warm thread pools and forked process
+replicas.  A :class:`TraceContext` is the small, picklable token the
+coordinator attaches to dispatched work so spans recorded *inside* a
+worker can be correlated back to the request that caused them:
+
+* ``trace_id`` — one id per logical run/request, allocated from the
+  coordinator tracer's async-id sequence so it never collides with the
+  serving layer's request ids;
+* ``parent_span`` — the name of the coordinator-side span the worker's
+  spans logically nest under (e.g. ``"pool.run"``), carried as a span
+  arg so the merged view stays navigable;
+* ``dispatch_ns`` — the coordinator's trace clock at dispatch time.
+  Together with the worker-side receive timestamp it bounds queue wait,
+  and it gives :func:`repro.observability.merge.merge_traces` a sanity
+  anchor when aligning per-worker clocks.
+
+A context is immutable and contains only ints and strings, so it crosses
+``multiprocessing`` queues at negligible cost; *absence* of a context
+(``None``) is the untraced fast path and costs one ``is None`` check in
+the worker loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+__all__ = ["TraceContext"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """One dispatched unit of work's link back to the coordinator trace."""
+
+    #: id of the logical run/request this work belongs to
+    trace_id: int
+    #: coordinator-side span the worker's spans nest under (by time)
+    parent_span: str = ""
+    #: coordinator trace clock (``perf_counter_ns``) at dispatch
+    dispatch_ns: int = 0
+
+    @classmethod
+    def from_tracer(cls, tracer, parent_span: str = "") -> "TraceContext":
+        """A fresh context using ``tracer``'s id sequence and clock.
+
+        ``tracer`` may be ``None`` (returns ``None``) so dispatch sites can
+        write ``TraceContext.from_tracer(self._tracer, ...)`` without a
+        branch of their own.
+        """
+        if tracer is None:
+            return None
+        return cls(trace_id=tracer.next_async_id(), parent_span=parent_span,
+                   dispatch_ns=tracer.now())
+
+    def span_args(self, extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """The args dict worker spans carry so merged traces correlate."""
+        args = {"trace_id": str(self.trace_id)}
+        if self.parent_span:
+            args["parent"] = self.parent_span
+        if extra:
+            args.update(extra)
+        return args
+
+    def queue_wait_ns(self, received_ns: Optional[int] = None) -> int:
+        """Nanoseconds between dispatch and ``received_ns`` (same machine).
+
+        ``perf_counter_ns`` is machine-wide monotonic on the platforms the
+        fork backend supports, so this is meaningful across forked workers
+        too; clamped at zero in case a sub-tick race inverts the pair.
+        """
+        if received_ns is None:
+            received_ns = time.perf_counter_ns()
+        return max(received_ns - self.dispatch_ns, 0)

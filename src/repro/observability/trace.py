@@ -251,6 +251,37 @@ class Tracer:
     # ------------------------------------------------------------------
     # Inspection / export
     # ------------------------------------------------------------------
+    def export(self) -> Dict:
+        """One consistent snapshot of the buffer and its counters.
+
+        Everything is read under a single lock acquisition, so the
+        invariant ``recorded == buffered + dropped`` holds in the returned
+        snapshot even while other threads keep emitting — an export can
+        never observe a span that is counted neither as buffered nor as
+        dropped.  (Reading ``events()`` and ``stats()`` separately cannot
+        make that promise: a wraparound between the two calls moves a span
+        from the buffer into the drop count unseen.)  This is what the
+        trace mergers and the registry collector read.
+        """
+        with self._lock:
+            ordered = self._ring[self._head:] + self._ring[:self._head]
+            events = [event for event in ordered if event is not None]
+            return {
+                "events": events,
+                "thread_names": dict(self._thread_names),
+                "recorded": self._recorded,
+                "buffered": len(events),
+                "dropped": self._dropped,
+                "capacity": self.capacity,
+                "enabled": self._enabled,
+                "epoch_ns": self._epoch_ns,
+            }
+
+    @property
+    def epoch_ns(self) -> int:
+        """The trace-clock origin: ``ts`` fields are relative to this."""
+        return self._epoch_ns
+
     def events(self) -> List[TraceEvent]:
         """Buffered events, oldest first."""
         with self._lock:
@@ -268,15 +299,34 @@ class Tracer:
 
     def stats(self) -> Dict[str, int]:
         """Recording counters: recorded / buffered / dropped / capacity."""
-        with self._lock:
-            buffered = sum(1 for event in self._ring if event is not None)
-            return {
-                "recorded": self._recorded,
-                "buffered": buffered,
-                "dropped": self._dropped,
-                "capacity": self.capacity,
-                "enabled": self._enabled,
-            }
+        snapshot = self.export()
+        return {key: snapshot[key] for key in
+                ("recorded", "buffered", "dropped", "capacity", "enabled")}
+
+    def publish_metrics(self, registry,
+                        labels: Optional[Mapping[str, str]] = None) -> None:
+        """Expose the recording counters via a ``MetricsRegistry``.
+
+        Registers a pull-style collector refreshing ``tracer_spans_recorded``
+        / ``tracer_spans_dropped`` / ``tracer_spans_buffered`` gauges before
+        every snapshot, so drop accounting is visible in the same Prometheus
+        exposition as the serving and worker metrics instead of requiring a
+        ``tracer.stats()`` call by hand.
+        """
+        labels = dict(labels) if labels else None
+        gauge = registry.gauge
+
+        def collect(_registry) -> None:
+            snapshot = self.export()
+            gauge("tracer_spans_recorded", "Spans ever recorded",
+                  labels=labels).set(snapshot["recorded"])
+            gauge("tracer_spans_dropped",
+                  "Spans overwritten by ring wraparound",
+                  labels=labels).set(snapshot["dropped"])
+            gauge("tracer_spans_buffered", "Spans currently buffered",
+                  labels=labels).set(snapshot["buffered"])
+
+        registry.register_collector(collect)
 
     def chrome_trace(self, process_name: str = "repro") -> Dict:
         """The buffered spans as a Chrome trace-event JSON object.
@@ -288,19 +338,22 @@ class Tracer:
         The result loads directly in Perfetto / ``chrome://tracing``.
         """
         pid = os.getpid()
-        epoch = self._epoch_ns
+        # One atomic snapshot: events, thread names and drop counters are
+        # taken under a single lock acquisition, so an emit racing this
+        # export cannot make the trace claim fewer drops than it had when
+        # its newest span was buffered.
+        snapshot = self.export()
+        epoch = snapshot["epoch_ns"]
         trace_events: List[Dict] = [{
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
             "args": {"name": process_name},
         }]
-        with self._lock:
-            thread_names = dict(self._thread_names)
-        for tid, tname in sorted(thread_names.items()):
+        for tid, tname in sorted(snapshot["thread_names"].items()):
             trace_events.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                 "args": {"name": tname},
             })
-        for event in self.events():
+        for event in snapshot["events"]:
             ts_us = (event.start_ns - epoch) / 1e3
             dur_us = event.dur_ns / 1e3
             if event.kind == ASYNC:
@@ -321,7 +374,16 @@ class Tracer:
                 if event.args:
                     record["args"] = dict(event.args)
                 trace_events.append(record)
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            # Perfetto ignores unknown top-level keys; drop accounting rides
+            # along so a truncated flight-recorder trace is self-describing.
+            "metadata": {
+                "recorded": snapshot["recorded"],
+                "dropped": snapshot["dropped"],
+            },
+        }
 
     def write_chrome_trace(self, path, process_name: str = "repro") -> None:
         """Serialize :meth:`chrome_trace` to ``path`` as JSON."""

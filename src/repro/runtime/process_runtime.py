@@ -9,17 +9,32 @@ equivalence tests fast and robust) and a single-threaded reference driver.
 All drivers take the generated module (or anything exposing
 ``CLUSTER_FUNCTIONS``, ``CHANNEL_NAMES`` and ``GRAPH_OUTPUTS``), a graph
 input feed and the model weights, and return the merged graph outputs.
+
+With a ``tracer`` attached, :func:`execute_generated_module` propagates a
+:class:`~repro.observability.context.TraceContext` to every cluster worker;
+each worker records its ``worker.execute`` span in a local
+:class:`~repro.observability.Tracer` against its real pid/tid and ships the
+buffer back (over the existing result queue, for the process backend).
+Shipped buffers land in the caller-supplied ``collector`` list as
+:class:`~repro.observability.merge.WorkerTraceBuffer`\\ s ready for
+:func:`repro.observability.merge.merge_traces`.  One-shot workers skip the
+clock handshake the warm pools perform: they are forked (or threads), and
+``perf_counter_ns`` is CLOCK_MONOTONIC — machine-wide — on fork platforms,
+so their offset is recorded as 0.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.observability.context import TraceContext
+from repro.observability.merge import WorkerTraceBuffer
 from repro.runtime.channels import make_process_channels, make_thread_channels
 
 
@@ -28,16 +43,51 @@ class ParallelExecutionError(RuntimeError):
 
 
 # ---------------------------------------------------------------------------
+# Worker-side tracing helpers
+# ---------------------------------------------------------------------------
+def _traced_worker_run(fn, inputs, weights, channels, ctx: TraceContext,
+                       index: int):
+    """Run one cluster under a fresh local tracer; return (outputs, payload)."""
+    from repro.observability.trace import Tracer
+
+    tracer = Tracer(capacity=1024)
+    args = ctx.span_args({"cluster": str(index)})
+    with tracer.span("worker.execute", cat="worker", args=args):
+        outputs = fn(inputs, weights, channels)
+    snapshot = tracer.export()
+    spans = [(e.name, e.cat, e.start_ns, e.dur_ns,
+              dict(e.args) if e.args else None)
+             for e in snapshot["events"]]
+    payload = {"spans": spans, "dropped": snapshot["dropped"],
+               "pid": os.getpid(), "tid": threading.get_ident()}
+    return outputs, payload
+
+
+def _payload_to_buffer(index: int, payload: Dict) -> WorkerTraceBuffer:
+    return WorkerTraceBuffer(
+        worker=f"cluster-{index}", pid=payload["pid"], tid=payload["tid"],
+        events=payload["spans"], dropped=payload["dropped"],
+        clock_offset_ns=0)
+
+
+# ---------------------------------------------------------------------------
 # Thread backend
 # ---------------------------------------------------------------------------
-def _run_threaded(module, inputs, weights, timeout: float) -> Dict[str, np.ndarray]:
+def _run_threaded(module, inputs, weights, timeout: float,
+                  ctx: Optional[TraceContext] = None,
+                  collector: Optional[list] = None) -> Dict[str, np.ndarray]:
     channels = make_thread_channels(module.CHANNEL_NAMES)
     results: Dict[int, Dict[str, np.ndarray]] = {}
+    payloads: Dict[int, Dict] = {}
     errors: List[Tuple[int, BaseException]] = []
 
     def worker(index: int, fn) -> None:
         try:
-            results[index] = fn(inputs, weights, channels)
+            if ctx is None:
+                results[index] = fn(inputs, weights, channels)
+            else:
+                results[index], payloads[index] = _traced_worker_run(
+                    fn, inputs, weights, channels, ctx, index)
         except BaseException as exc:  # noqa: BLE001 - propagate to caller
             errors.append((index, exc))
 
@@ -49,6 +99,9 @@ def _run_threaded(module, inputs, weights, timeout: float) -> Dict[str, np.ndarr
     deadline = time.monotonic() + timeout
     for t in threads:
         t.join(max(deadline - time.monotonic(), 0.0))
+    if collector is not None:
+        for index in sorted(payloads):
+            collector.append(_payload_to_buffer(index, payloads[index]))
     if errors:
         index, exc = errors[0]
         raise ParallelExecutionError(f"cluster {index} failed: {exc!r}") from exc
@@ -66,15 +119,23 @@ def _run_threaded(module, inputs, weights, timeout: float) -> Dict[str, np.ndarr
 # ---------------------------------------------------------------------------
 # Process backend
 # ---------------------------------------------------------------------------
-def _process_worker(fn, inputs, weights, channels, result_queue, index) -> None:
+def _process_worker(fn, inputs, weights, channels, result_queue, index,
+                    trace_ctx) -> None:
     try:
-        outputs = fn(inputs, weights, channels)
-        result_queue.put((index, outputs, None))
+        if trace_ctx is None:
+            outputs = fn(inputs, weights, channels)
+            result_queue.put((index, outputs, None, None))
+        else:
+            outputs, payload = _traced_worker_run(
+                fn, inputs, weights, channels, trace_ctx, index)
+            result_queue.put((index, outputs, None, payload))
     except BaseException as exc:  # noqa: BLE001 - serialize the failure
-        result_queue.put((index, {}, repr(exc)))
+        result_queue.put((index, {}, repr(exc), None))
 
 
-def _run_processes(module, inputs, weights, timeout: float) -> Dict[str, np.ndarray]:
+def _run_processes(module, inputs, weights, timeout: float,
+                   trace_ctx: Optional[TraceContext] = None,
+                   collector: Optional[list] = None) -> Dict[str, np.ndarray]:
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -84,7 +145,8 @@ def _run_processes(module, inputs, weights, timeout: float) -> Dict[str, np.ndar
 
     processes = [
         ctx.Process(target=_process_worker,
-                    args=(fn, inputs, weights, channels, result_queue, i),
+                    args=(fn, inputs, weights, channels, result_queue, i,
+                          trace_ctx),
                     daemon=True, name=f"cluster-{i}")
         for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
     ]
@@ -104,10 +166,13 @@ def _run_processes(module, inputs, weights, timeout: float) -> Dict[str, np.ndar
                 f"parallel execution of {module.MODEL_NAME!r} timed out after {timeout}s"
             )
         try:
-            index, outputs, error = result_queue.get(timeout=min(remaining, 0.5))
+            index, outputs, error, payload = result_queue.get(
+                timeout=min(remaining, 0.5))
         except Exception:  # noqa: BLE001 - queue.Empty; keep polling until deadline
             continue
         pending -= 1
+        if payload is not None and collector is not None:
+            collector.append(_payload_to_buffer(index, payload))
         if error is not None:
             failures.append(f"cluster {index}: {error}")
         else:
@@ -130,6 +195,9 @@ def execute_generated_module(
     weights: Mapping[str, np.ndarray],
     backend: str = "thread",
     timeout: float = 300.0,
+    *,
+    tracer=None,
+    collector: Optional[list] = None,
 ) -> Dict[str, np.ndarray]:
     """Execute a generated parallel module and return its graph outputs.
 
@@ -145,14 +213,33 @@ def execute_generated_module(
     timeout:
         Watchdog in seconds; a deadlock (which a correct clustering cannot
         produce) surfaces as :class:`ParallelExecutionError` instead of a hang.
+    tracer:
+        Optional coordinator :class:`~repro.observability.Tracer`.  When
+        given, a trace context is propagated to every worker and the
+        coordinator records a ``runtime.parallel_run`` span around the run.
+    collector:
+        Optional list to which per-worker
+        :class:`~repro.observability.merge.WorkerTraceBuffer`\\ s are
+        appended (requires ``tracer``).
     """
     module = getattr(module, "module", module)
-    if backend == "thread":
-        outputs = _run_threaded(module, dict(inputs), dict(weights), timeout)
-    elif backend == "process":
-        outputs = _run_processes(module, dict(inputs), dict(weights), timeout)
-    else:
+    if backend not in ("thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
+    trace_ctx = TraceContext.from_tracer(
+        tracer, parent_span="execute_generated_module")
+    start_ns = tracer.now() if tracer is not None else 0
+    if backend == "thread":
+        outputs = _run_threaded(module, dict(inputs), dict(weights), timeout,
+                                ctx=trace_ctx, collector=collector)
+    else:
+        outputs = _run_processes(module, dict(inputs), dict(weights), timeout,
+                                 trace_ctx=trace_ctx, collector=collector)
+    if tracer is not None:
+        args = {"model": module.MODEL_NAME, "backend": backend}
+        if trace_ctx is not None:
+            args["trace_id"] = str(trace_ctx.trace_id)
+        tracer.emit("runtime.parallel_run", "runtime", start_ns, tracer.now(),
+                    args=args)
     missing = [name for name in module.GRAPH_OUTPUTS if name not in outputs]
     if missing:
         raise ParallelExecutionError(

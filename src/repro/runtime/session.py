@@ -289,6 +289,10 @@ class Session:
         category ``"session"``) are emitted around every execution, and a
         ``"plan"`` session propagates the tracer into its
         :class:`ExecutionPlan` so per-step spans nest inside the run span.
+        Pool-backed sessions propagate the tracer into the
+        :class:`WarmExecutorPool`: dispatched jobs carry trace contexts and
+        the workers ship their span buffers home (see
+        :meth:`worker_trace_buffers`).
         """
         self._tracer = tracer
         if self._plan is not None:
@@ -296,6 +300,20 @@ class Session:
                 self._plan.disable_tracing()
             else:
                 self._plan.enable_tracing(tracer)
+        if self._pool is not None:
+            self._pool.set_tracer(tracer)
+
+    def worker_trace_buffers(self):
+        """Per-worker span buffers of a traced pool session (else ``[]``).
+
+        The returned :class:`~repro.observability.merge.WorkerTraceBuffer`
+        list — together with the session's tracer — feeds
+        :func:`repro.observability.merge.merge_traces`, which aligns the
+        worker clocks and emits one multi-process Chrome trace.
+        """
+        if self._pool is None:
+            return []
+        return self._pool.worker_trace_buffers()
 
     def publish_metrics(self, registry, labels: Optional[Mapping[str, str]] = None) -> None:
         """Mirror this session's counters into a ``MetricsRegistry``.
@@ -339,6 +357,10 @@ class Session:
 
         registry.register_collector(collect)
         self._metrics_collectors.append((registry, collect))
+        if self._pool is not None:
+            # Worker-layer counters (runs, dispatch/execute/queue-wait time,
+            # channel bytes, restarts) publish under the same labels.
+            self._pool.publish_metrics(registry, labels)
 
     # ------------------------------------------------------------------
     def _check_usable(self) -> None:
@@ -454,6 +476,7 @@ class Session:
             stats["plan"] = self._plan.stats()
         if self._pool is not None:
             stats["pool_clusters"] = self._pool.num_clusters
+            stats["pool"] = self._pool.stats()
         return stats
 
     def close(self) -> None:
@@ -475,7 +498,7 @@ class Session:
 
 
 def create_session(model_or_artifact, config=None, executor: str = "plan",
-                   timeout_s: float = 300.0) -> Session:
+                   timeout_s: float = 300.0, *, tracer=None) -> Session:
     """Create a :class:`Session` — the package's one execution front door.
 
     Parameters
@@ -499,6 +522,12 @@ def create_session(model_or_artifact, config=None, executor: str = "plan",
           warm thread- or fork-backed per-cluster worker pool.
     timeout_s:
         Per-run timeout for pool-backed sessions.
+    tracer:
+        Optional :class:`~repro.observability.Tracer` attached before the
+        session is returned.  For ``"process"`` sessions, passing it here
+        (rather than via :meth:`Session.set_tracer` later) additionally
+        enables channel byte/ns telemetry: the pool's channels must be
+        wrapped before the workers fork.
     """
     executor = validate_executor(executor)
     obj = model_or_artifact
@@ -507,8 +536,11 @@ def create_session(model_or_artifact, config=None, executor: str = "plan",
             raise ValueError(
                 "an ExecutionPlan artifact can only back a 'plan' session; "
                 f"got executor {executor!r}")
-        return Session("plan", graph=obj.graph, model_name=obj.model_name,
-                       plan=obj, timeout_s=timeout_s)
+        session = Session("plan", graph=obj.graph, model_name=obj.model_name,
+                          plan=obj, timeout_s=timeout_s)
+        if tracer is not None:
+            session.set_tracer(tracer)
+        return session
 
     if isinstance(obj, Model):
         import dataclasses
@@ -531,18 +563,24 @@ def create_session(model_or_artifact, config=None, executor: str = "plan",
     optimized = result.optimized_model
     name = result.model.name
     if executor == "plan":
-        return Session("plan", graph=optimized.graph, model_name=name,
-                       result=result, plan=result.plan(), timeout_s=timeout_s)
-    if executor == "interp":
-        return Session("interp", graph=optimized.graph, model_name=name,
-                       result=result, interp=GraphExecutor(optimized),
-                       timeout_s=timeout_s)
-    if result.parallel_module is None:
-        raise ValueError(
-            f"executor {executor!r} needs generated code, but the artifact "
-            "was compiled with generate_code=False")
-    pool = WarmExecutorPool(
-        result.parallel_module, optimized.graph.initializers,
-        backend="thread" if executor == "pool" else "process")
-    return Session(executor, graph=optimized.graph, model_name=name,
-                   result=result, pool=pool, timeout_s=timeout_s)
+        session = Session("plan", graph=optimized.graph, model_name=name,
+                          result=result, plan=result.plan(),
+                          timeout_s=timeout_s)
+    elif executor == "interp":
+        session = Session("interp", graph=optimized.graph, model_name=name,
+                          result=result, interp=GraphExecutor(optimized),
+                          timeout_s=timeout_s)
+    else:
+        if result.parallel_module is None:
+            raise ValueError(
+                f"executor {executor!r} needs generated code, but the artifact "
+                "was compiled with generate_code=False")
+        pool = WarmExecutorPool(
+            result.parallel_module, optimized.graph.initializers,
+            backend="thread" if executor == "pool" else "process",
+            tracer=tracer)
+        session = Session(executor, graph=optimized.graph, model_name=name,
+                          result=result, pool=pool, timeout_s=timeout_s)
+    if tracer is not None:
+        session.set_tracer(tracer)
+    return session

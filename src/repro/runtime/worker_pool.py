@@ -21,49 +21,173 @@ Two backends are supported:
 
 A run that times out or raises leaves workers in an unknown state (they may
 be blocked on a channel ``get`` that will never be satisfied), so the pool
-marks itself *broken* and refuses further work; the owner is expected to
-discard it and build a fresh one.
+marks itself *broken* and refuses further work; :meth:`restart` tears the
+workers down and spawns a fresh set over the same compiled module (counted
+in ``stats()["restarts"]``), which is much cheaper than recompiling.
+
+**Observability.**  The pool is the boundary where PR 6's tracing used to
+go dark: spans stopped at ``session.run`` because the actual operator work
+happens on worker threads/processes the coordinator tracer cannot see.
+With a tracer attached (constructor ``tracer=`` or :meth:`set_tracer`),
+every dispatched job carries a
+:class:`~repro.observability.context.TraceContext`; each worker runs its
+own thread/process-local :class:`~repro.observability.Tracer`, records its
+``worker.execute`` spans against its **real pid/tid**, and ships the
+completed buffer back with the job result over the existing done queue.
+The pool accumulates per-worker
+:class:`~repro.observability.merge.WorkerTraceBuffer`\\ s (bounded, with
+per-worker drop accounting) that
+:func:`repro.observability.merge.merge_traces` aligns — using the
+per-worker **clock offsets measured by a startup handshake** — into one
+multi-process Chrome trace.  Untraced dispatch stays on the fast path: the
+job tuple carries ``None`` and the worker pays one ``is None`` check
+(gated at paired-ratio parity in
+``benchmarks/test_observability_overhead.py``).
+
+Worker **metrics** (dispatch/execute/queue-wait timings, channel hand-off
+bytes and nanoseconds, occupancy, restarts) accumulate in ``stats()`` and
+publish into a shared ``MetricsRegistry`` via :meth:`publish_metrics`.
+Channel byte/ns accounting for the ``"process"`` backend requires the
+tracer at *construction* time (the wrapped channels are inherited at
+fork); span shipping works whenever a tracer is attached.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import queue
 import threading
 import time
-from typing import Dict, List, Mapping
+from collections import deque
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.runtime.channels import make_process_channels, make_thread_channels
+from repro.observability.context import TraceContext
+from repro.observability.merge import WorkerTraceBuffer
+from repro.observability.trace import Tracer
+from repro.runtime.channels import (
+    ChannelTelemetry,
+    instrument_channels,
+    make_process_channels,
+    make_thread_channels,
+)
 from repro.runtime.process_runtime import ParallelExecutionError
+
+#: sentinel ticket for the clock-offset handshake messages
+_SYNC = "__sync__"
+
+#: per-worker local tracer capacity; one run's spans are drained after
+#: every job, so this only bounds a single job's recording
+_WORKER_TRACER_CAPACITY = 4096
+
+#: per-worker accumulation cap in the coordinator; oldest spans are evicted
+#: (and counted as drops) once a worker's lane exceeds this
+_WORKER_BUFFER_CAPACITY = 16384
+
+
+def _drain_worker_tracer(tracer: Tracer, ctx: TraceContext,
+                         queue_wait_ns: int, channel_delta) -> Dict:
+    """Package a worker-local tracer's buffer for the trip home."""
+    snapshot = tracer.export()
+    tracer.clear()
+    spans = [(e.name, e.cat, e.start_ns, e.dur_ns,
+              dict(e.args) if e.args else None)
+             for e in snapshot["events"]]
+    return {
+        "spans": spans,
+        "dropped": snapshot["dropped"],
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "trace_id": ctx.trace_id,
+        "queue_wait_ns": queue_wait_ns,
+        "channels": channel_delta,
+    }
 
 
 def _thread_worker(fn, weights, jobs, done, index) -> None:
+    tracer: Optional[Tracer] = None
     while True:
         job = jobs.get()
         if job is None:
             return
-        ticket, inputs, channels = job
+        ticket = job[0]
+        if ticket == _SYNC:
+            done.put((_SYNC, index, time.perf_counter_ns(), None, 0, None))
+            continue
+        received_ns = time.perf_counter_ns()
+        _, inputs, channels, ctx = job
+        start_ns = time.perf_counter_ns()
         try:
-            outputs = fn(inputs, weights, channels)
-            done.put((ticket, index, outputs, None))
+            if ctx is None:
+                outputs = fn(inputs, weights, channels)
+                done.put((ticket, index, outputs, None,
+                          time.perf_counter_ns() - start_ns, None))
+                continue
+            if tracer is None:
+                tracer = Tracer(capacity=_WORKER_TRACER_CAPACITY)
+            queue_wait_ns = ctx.queue_wait_ns(received_ns)
+            args = ctx.span_args({
+                "cluster": str(index),
+                "queue_wait_us": str(queue_wait_ns // 1000)})
+            with tracer.span("worker.execute", cat="worker", args=args):
+                outputs = fn(inputs, weights, channels)
+            exec_ns = time.perf_counter_ns() - start_ns
+            # Thread workers share the coordinator's channel telemetry
+            # object, so no per-job channel delta is shipped (it would
+            # double count against concurrent workers).
+            payload = _drain_worker_tracer(tracer, ctx, queue_wait_ns, None)
+            done.put((ticket, index, outputs, None, exec_ns, payload))
         except BaseException as exc:  # noqa: BLE001 - propagate to the caller
-            done.put((ticket, index, {}, repr(exc)))
+            done.put((ticket, index, {}, repr(exc),
+                      time.perf_counter_ns() - start_ns, None))
 
 
-def _process_worker(fn, weights, channels, jobs, done, index) -> None:
+def _process_worker(fn, weights, channels, jobs, done, index,
+                    telemetry: Optional[ChannelTelemetry]) -> None:
+    tracer: Optional[Tracer] = None
     while True:
         job = jobs.get()
         if job is None:
             return
-        ticket, inputs = job
+        ticket = job[0]
+        if ticket == _SYNC:
+            done.put((_SYNC, index, time.perf_counter_ns(), None, 0, None))
+            continue
+        received_ns = time.perf_counter_ns()
+        _, inputs, ctx = job
+        start_ns = time.perf_counter_ns()
         try:
-            outputs = fn(inputs, weights, channels)
-            done.put((ticket, index, outputs, None))
+            if ctx is None:
+                outputs = fn(inputs, weights, channels)
+                done.put((ticket, index, outputs, None,
+                          time.perf_counter_ns() - start_ns, None))
+                continue
+            if tracer is None:
+                tracer = Tracer(capacity=_WORKER_TRACER_CAPACITY)
+            channels_before = (telemetry.snapshot()
+                               if telemetry is not None else None)
+            queue_wait_ns = ctx.queue_wait_ns(received_ns)
+            args = ctx.span_args({
+                "cluster": str(index),
+                "queue_wait_us": str(queue_wait_ns // 1000)})
+            with tracer.span("worker.execute", cat="worker", args=args):
+                outputs = fn(inputs, weights, channels)
+            exec_ns = time.perf_counter_ns() - start_ns
+            # This fork's telemetry counters are copy-on-write private:
+            # ship the per-job delta home with the result.
+            channel_delta = None
+            if telemetry is not None:
+                channel_delta = ChannelTelemetry.delta(
+                    telemetry.snapshot(), channels_before)
+            payload = _drain_worker_tracer(tracer, ctx, queue_wait_ns,
+                                           channel_delta)
+            done.put((ticket, index, outputs, None, exec_ns, payload))
         except BaseException as exc:  # noqa: BLE001 - serialize the failure
-            done.put((ticket, index, {}, repr(exc)))
+            done.put((ticket, index, {}, repr(exc),
+                      time.perf_counter_ns() - start_ns, None))
 
 
 class WarmExecutorPool:
@@ -81,10 +205,16 @@ class WarmExecutorPool:
         pool construction and shared by every run.
     backend:
         ``"thread"`` (default) or ``"process"`` (requires ``fork``).
+    tracer:
+        Optional coordinator :class:`~repro.observability.Tracer`.  When
+        given at construction, dispatch carries trace contexts, workers
+        ship span buffers home, and (``"process"`` backend) the inherited
+        channels are wrapped for byte/ns accounting.  May also be attached
+        later via :meth:`set_tracer` (spans only, for the process backend).
     """
 
     def __init__(self, module, weights: Mapping[str, np.ndarray],
-                 backend: str = "thread") -> None:
+                 backend: str = "thread", tracer: Optional[Tracer] = None) -> None:
         as_cluster_module = getattr(module, "as_cluster_module", None)
         if as_cluster_module is not None:  # an ExecutionPlan
             module = as_cluster_module()
@@ -101,7 +231,44 @@ class WarmExecutorPool:
         self._closed = False
         self._broken = False
 
-        if backend == "thread":
+        # -- observability state ---------------------------------------
+        self._tracer = tracer
+        #: channel telemetry; for "process" it must exist before fork
+        self._telemetry: Optional[ChannelTelemetry] = (
+            ChannelTelemetry() if tracer is not None else None)
+        #: aggregated channel counters shipped home by process workers
+        self._channel_totals: Dict[str, int] = {}
+        #: measured worker_clock - coordinator_clock per worker index
+        self._clock_offsets: List[int] = [0] * self._num_clusters
+        #: accumulated per-worker span tuples (+ identity and drops)
+        self._worker_spans: List[deque] = [
+            deque(maxlen=_WORKER_BUFFER_CAPACITY)
+            for _ in range(self._num_clusters)]
+        self._worker_drops: List[int] = [0] * self._num_clusters
+        self._worker_ids: List[Optional[tuple]] = [None] * self._num_clusters
+        #: run/timing counters surfaced by stats() and publish_metrics()
+        self._runs = 0
+        self._failures = 0
+        self._restarts = 0
+        self._occupancy = 0
+        self._dispatch_ns = 0
+        self._collect_wait_ns = 0
+        self._worker_jobs = [0] * self._num_clusters
+        self._worker_execute_ns = [0] * self._num_clusters
+        self._worker_queue_wait_ns = [0] * self._num_clusters
+        #: optional run-latency histograms, set by publish_metrics()
+        self._run_histogram = None
+        self._execute_histogram = None
+        self._metrics_registries: list = []
+
+        self._spawn()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        """Create queues (+ channels for the process backend) and workers."""
+        if self.backend == "thread":
             self._job_queues = [queue.Queue() for _ in range(self._num_clusters)]
             self._done: "queue.Queue" = queue.Queue()
             self._workers = [
@@ -109,7 +276,7 @@ class WarmExecutorPool:
                     target=_thread_worker,
                     args=(fn, self._weights, self._job_queues[i], self._done, i),
                     daemon=True, name=f"warm-cluster-{i}")
-                for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
+                for i, fn in enumerate(self.module.CLUSTER_FUNCTIONS)
             ]
             self._channels = None  # fresh thread channels per run
         else:
@@ -121,19 +288,99 @@ class WarmExecutorPool:
                 ) from exc
             # Channels are created once and inherited at fork; every run
             # drains them completely, so they can be reused across runs.
-            self._channels = make_process_channels(module.CHANNEL_NAMES, ctx=ctx)
+            channels = make_process_channels(self.module.CHANNEL_NAMES, ctx=ctx)
+            if self._telemetry is not None:
+                channels = instrument_channels(channels, self._telemetry)
+            self._channels = channels
             self._job_queues = [ctx.Queue() for _ in range(self._num_clusters)]
             self._done = ctx.Queue()
             self._workers = [
                 ctx.Process(
                     target=_process_worker,
                     args=(fn, self._weights, self._channels,
-                          self._job_queues[i], self._done, i),
+                          self._job_queues[i], self._done, i,
+                          self._telemetry),
                     daemon=True, name=f"warm-cluster-{i}")
-                for i, fn in enumerate(module.CLUSTER_FUNCTIONS)
+                for i, fn in enumerate(self.module.CLUSTER_FUNCTIONS)
             ]
         for worker in self._workers:
             worker.start()
+        self._sync_clocks()
+
+    def _sync_clocks(self, timeout: float = 60.0, rounds: int = 3) -> None:
+        """Measure each worker's clock offset with ping/pong handshakes.
+
+        The coordinator records its clock, sends a sync message, and the
+        worker replies with its own clock reading; the offset is taken
+        against the midpoint of the round trip (the NTP estimator).
+        Several rounds are run and the measurement with the smallest round
+        trip wins — the first round's trip includes worker startup (fork,
+        imports), which would bias the midpoint by milliseconds.  On fork
+        platforms ``perf_counter_ns`` is machine-wide so the measured
+        offset is the handshake noise floor, but the merge stays correct
+        anywhere worker clocks genuinely diverge — and the handshake
+        doubles as a worker liveness check at (re)spawn time.
+        """
+        best_rtt = [None] * self._num_clusters
+        deadline = time.monotonic() + timeout
+        for _ in range(max(rounds, 1)):
+            sent_ns: List[int] = []
+            for jobs in self._job_queues:
+                sent_ns.append(time.perf_counter_ns())
+                jobs.put((_SYNC, None))
+            pending = self._num_clusters
+            while pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._broken = True
+                    raise ParallelExecutionError(
+                        f"worker clock handshake for "
+                        f"{self.module.MODEL_NAME!r} timed out after "
+                        f"{timeout}s ({pending}/{self._num_clusters} "
+                        "workers silent)")
+                try:
+                    ticket, index, worker_ns, _, _, _ = self._done.get(
+                        timeout=min(remaining, 0.5))
+                except queue.Empty:
+                    continue
+                if ticket != _SYNC:
+                    continue  # straggler of a pre-restart run
+                reply_ns = time.perf_counter_ns()
+                rtt = reply_ns - sent_ns[index]
+                if best_rtt[index] is None or rtt < best_rtt[index]:
+                    best_rtt[index] = rtt
+                    self._clock_offsets[index] = int(
+                        worker_ns - (sent_ns[index] + reply_ns) // 2)
+                pending -= 1
+
+    def restart(self, join_timeout: float = 2.0) -> None:
+        """Tear down the workers and spawn a fresh set; clears ``broken``.
+
+        Recovery after a timed-out or failed run: the compiled module and
+        weights are reused, so a restart costs worker startup only — far
+        cheaper than invalidating the artifact and recompiling.  Counted
+        in ``stats()["restarts"]`` (and the ``pool_worker_restarts_total``
+        registry metric).
+        """
+        with self._lock:
+            if self._closed:
+                raise ParallelExecutionError(
+                    "cannot restart a closed warm executor pool")
+            self._stop_workers(join_timeout)
+            self._broken = False
+            self._restarts += 1
+            self._spawn()
+
+    def _stop_workers(self, join_timeout: float) -> None:
+        for jobs in self._job_queues:
+            try:
+                jobs.put(None)
+            except Exception:  # noqa: BLE001 - queue already torn down
+                pass
+        for worker in self._workers:
+            worker.join(timeout=join_timeout)
+            if self.backend == "process" and worker.is_alive():
+                worker.terminate()
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +393,186 @@ class WarmExecutorPool:
         """True once a run failed in a way that may leave workers wedged."""
         return self._broken
 
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached coordinator tracer, if any."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach, with ``None``) the coordinator tracer.
+
+        Takes effect on the next run: dispatched jobs carry trace contexts
+        and workers ship their span buffers home.  For the ``"thread"``
+        backend this also enables channel byte/ns telemetry (fresh channels
+        are wrapped per run); the ``"process"`` backend's channels were
+        frozen at fork, so channel telemetry there requires the tracer at
+        construction time — spans and timings still work.
+        """
+        self._tracer = tracer
+        if (tracer is not None and self._telemetry is None
+                and self.backend == "thread"):
+            self._telemetry = ChannelTelemetry()
+
+    def clock_offsets(self) -> List[int]:
+        """Measured per-worker clock offsets (worker - coordinator), ns."""
+        return list(self._clock_offsets)
+
+    def worker_trace_buffers(self) -> List[WorkerTraceBuffer]:
+        """The accumulated per-worker span buffers, ready for merging.
+
+        Each buffer carries the worker's real pid/tid, its handshake clock
+        offset and its drop count (worker-ring drops plus coordinator-side
+        evictions past the per-worker cap).  Feed the result — together
+        with the coordinator tracer — to
+        :func:`repro.observability.merge.merge_traces`.
+        """
+        buffers: List[WorkerTraceBuffer] = []
+        with self._lock:
+            for index in range(self._num_clusters):
+                identity = self._worker_ids[index]
+                if not self._worker_spans[index] and not self._worker_drops[index]:
+                    continue  # nothing traced for this worker (yet)
+                pid, tid = identity if identity else (os.getpid(), 0)
+                buffers.append(WorkerTraceBuffer(
+                    worker=f"cluster-{index}", pid=pid, tid=tid,
+                    events=list(self._worker_spans[index]),
+                    dropped=self._worker_drops[index],
+                    clock_offset_ns=self._clock_offsets[index]))
+        return buffers
+
+    def clear_worker_traces(self) -> None:
+        """Drop the accumulated worker spans and their drop counts."""
+        with self._lock:
+            for spans in self._worker_spans:
+                spans.clear()
+            self._worker_drops = [0] * self._num_clusters
+
+    def _ingest_trace_payload(self, index: int, payload: Dict) -> None:
+        """Fold one shipped worker buffer into the per-worker accumulators.
+
+        Called from ``_collect`` (under the run lock).  Eviction past the
+        per-worker cap is counted as coordinator-side drops so a truncated
+        lane stays accounted, not silently sparse.
+        """
+        spans = self._worker_spans[index]
+        evicted = max(len(spans) + len(payload["spans"]) - spans.maxlen, 0)
+        spans.extend(payload["spans"])
+        self._worker_drops[index] += payload["dropped"] + min(
+            evicted, len(payload["spans"]))
+        self._worker_ids[index] = (payload["pid"], payload["tid"])
+        self._worker_queue_wait_ns[index] += payload["queue_wait_ns"]
+        delta = payload.get("channels")
+        if delta:
+            for key, value in delta.items():
+                self._channel_totals[key] = (
+                    self._channel_totals.get(key, 0) + value)
+
+    def stats(self) -> Dict:
+        """Run, timing, channel and trace counters for this pool."""
+        channels = None
+        if self.backend == "thread" and self._telemetry is not None:
+            channels = self._telemetry.snapshot()
+        elif self._channel_totals:
+            channels = dict(self._channel_totals)
+        return {
+            "backend": self.backend,
+            "clusters": self._num_clusters,
+            "runs": self._runs,
+            "failures": self._failures,
+            "restarts": self._restarts,
+            "occupancy": self._occupancy,
+            "dispatch_ns_total": self._dispatch_ns,
+            "collect_wait_ns_total": self._collect_wait_ns,
+            "execute_ns_total": sum(self._worker_execute_ns),
+            "workers": [
+                {"worker": index,
+                 "jobs": self._worker_jobs[index],
+                 "execute_ns_total": self._worker_execute_ns[index],
+                 "queue_wait_ns_total": self._worker_queue_wait_ns[index],
+                 "spans_buffered": len(self._worker_spans[index]),
+                 "spans_dropped": self._worker_drops[index],
+                 "clock_offset_ns": self._clock_offsets[index]}
+                for index in range(self._num_clusters)],
+            "channels": channels,
+        }
+
+    def publish_metrics(self, registry,
+                        labels: Optional[Mapping[str, str]] = None) -> None:
+        """Mirror the pool's counters into a ``MetricsRegistry``.
+
+        Registers a pull-style collector refreshing run/failure/restart
+        totals, occupancy, dispatch/execute/queue-wait time totals and the
+        channel byte/ns counters before every snapshot, plus per-worker
+        job/execute series labelled ``worker="<index>"`` — so one registry
+        snapshot covers the plan, serving and worker layers together.
+        Also creates ``pool_run_seconds`` / ``pool_worker_execute_seconds``
+        histograms the pool observes into at run time.
+        """
+        labels = dict(labels) if labels else {}
+        gauge = registry.gauge
+        self._run_histogram = registry.histogram(
+            "pool_run_seconds", "Warm-pool run wall time", labels=labels)
+        self._execute_histogram = registry.histogram(
+            "pool_worker_execute_seconds",
+            "Per-worker cluster execute time", labels=labels)
+
+        def collect(_registry) -> None:
+            stats = self.stats()
+            gauge("pool_runs_total", "Completed warm-pool runs",
+                  labels=labels).set(stats["runs"])
+            gauge("pool_failures_total", "Failed or timed-out pool runs",
+                  labels=labels).set(stats["failures"])
+            gauge("pool_worker_restarts_total",
+                  "Times the pool's workers were restarted",
+                  labels=labels).set(stats["restarts"])
+            gauge("pool_occupancy", "Runs currently executing (0 or 1)",
+                  labels=labels).set(stats["occupancy"])
+            gauge("pool_dispatch_seconds_total",
+                  "Cumulative job-dispatch time",
+                  labels=labels).set(stats["dispatch_ns_total"] / 1e9)
+            gauge("pool_collect_wait_seconds_total",
+                  "Cumulative result-collection wait",
+                  labels=labels).set(stats["collect_wait_ns_total"] / 1e9)
+            gauge("pool_execute_seconds_total",
+                  "Cumulative worker execute time (all workers)",
+                  labels=labels).set(stats["execute_ns_total"] / 1e9)
+            for row in stats["workers"]:
+                worker_labels = dict(labels, worker=str(row["worker"]))
+                gauge("pool_worker_jobs_total", "Jobs executed by a worker",
+                      labels=worker_labels).set(row["jobs"])
+                gauge("pool_worker_queue_wait_seconds_total",
+                      "Cumulative dispatch-to-receive wait of a worker",
+                      labels=worker_labels).set(
+                          row["queue_wait_ns_total"] / 1e9)
+                gauge("pool_worker_spans_dropped_total",
+                      "Worker trace spans lost to ring/cap drops",
+                      labels=worker_labels).set(row["spans_dropped"])
+            channels = stats["channels"]
+            if channels:
+                gauge("pool_channel_puts_total", "Channel put calls",
+                      labels=labels).set(channels["puts"])
+                gauge("pool_channel_gets_total", "Channel get calls",
+                      labels=labels).set(channels["gets"])
+                gauge("pool_channel_put_bytes_total",
+                      "Payload bytes moved into channels",
+                      labels=labels).set(channels["put_bytes"])
+                gauge("pool_channel_get_bytes_total",
+                      "Payload bytes moved out of channels",
+                      labels=labels).set(channels["get_bytes"])
+                gauge("pool_channel_put_seconds_total",
+                      "Cumulative producer-side channel hand-off time",
+                      labels=labels).set(channels["put_ns"] / 1e9)
+                gauge("pool_channel_get_seconds_total",
+                      "Cumulative consumer-side channel hand-off time",
+                      labels=labels).set(channels["get_ns"] / 1e9)
+
+        registry.register_collector(collect)
+        self._metrics_registries.append((registry, collect))
+
+    # ------------------------------------------------------------------
     def run(self, inputs: Mapping[str, np.ndarray],
             timeout: float = 300.0) -> Dict[str, np.ndarray]:
         """Execute the module once and return its graph outputs.
@@ -159,42 +586,78 @@ class WarmExecutorPool:
             if self._broken:
                 raise ParallelExecutionError(
                     "warm executor pool is broken after an earlier failure; "
-                    "discard it and compile a fresh one")
+                    "restart() it or compile a fresh one")
             ticket = next(self._tickets)
             feed = dict(inputs)
-            if self.backend == "thread":
-                channels = make_thread_channels(self.module.CHANNEL_NAMES)
-                for jobs in self._job_queues:
-                    jobs.put((ticket, feed, channels))
-            else:
-                for jobs in self._job_queues:
-                    jobs.put((ticket, feed))
-            return self._collect(ticket, timeout)
+            tracer = self._tracer
+            ctx = TraceContext.from_tracer(tracer, parent_span="pool.run")
+            self._occupancy = 1
+            run_start_ns = time.perf_counter_ns()
+            try:
+                if self.backend == "thread":
+                    channels = make_thread_channels(self.module.CHANNEL_NAMES)
+                    if ctx is not None and self._telemetry is not None:
+                        channels = instrument_channels(channels,
+                                                       self._telemetry)
+                    for jobs in self._job_queues:
+                        jobs.put((ticket, feed, channels, ctx))
+                else:
+                    for jobs in self._job_queues:
+                        jobs.put((ticket, feed, ctx))
+                dispatch_ns = time.perf_counter_ns() - run_start_ns
+                self._dispatch_ns += dispatch_ns
+                outputs = self._collect(ticket, timeout)
+                self._runs += 1
+                return outputs
+            except BaseException:
+                self._failures += 1
+                raise
+            finally:
+                self._occupancy = 0
+                end_ns = time.perf_counter_ns()
+                if self._run_histogram is not None:
+                    self._run_histogram.observe((end_ns - run_start_ns) / 1e9)
+                if tracer is not None:
+                    args = {"model": self.module.MODEL_NAME,
+                            "backend": self.backend}
+                    if ctx is not None:
+                        args["trace_id"] = str(ctx.trace_id)
+                    tracer.emit("pool.run", "pool", run_start_ns, end_ns,
+                                args=args)
 
     def _collect(self, ticket: int, timeout: float) -> Dict[str, np.ndarray]:
         merged: Dict[str, np.ndarray] = {}
         failures: List[str] = []
         pending = self._num_clusters
         deadline = time.monotonic() + timeout
+        wait_start_ns = time.perf_counter_ns()
         while pending > 0:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self._broken = True
+                self._collect_wait_ns += time.perf_counter_ns() - wait_start_ns
                 raise ParallelExecutionError(
                     f"warm execution of {self.module.MODEL_NAME!r} timed out "
                     f"after {timeout}s (possible deadlock)")
             try:
-                got_ticket, index, outputs, error = self._done.get(
-                    timeout=min(remaining, 0.5))
+                got_ticket, index, outputs, error, exec_ns, payload = \
+                    self._done.get(timeout=min(remaining, 0.5))
             except queue.Empty:
                 continue
             if got_ticket != ticket:
                 continue  # straggler of an earlier, failed run
             pending -= 1
+            self._worker_jobs[index] += 1
+            self._worker_execute_ns[index] += exec_ns
+            if self._execute_histogram is not None:
+                self._execute_histogram.observe(exec_ns / 1e9)
+            if payload is not None:
+                self._ingest_trace_payload(index, payload)
             if error is not None:
                 failures.append(f"cluster {index}: {error}")
             else:
                 merged.update(outputs)
+        self._collect_wait_ns += time.perf_counter_ns() - wait_start_ns
         if failures:
             self._broken = True
             raise ParallelExecutionError("; ".join(failures))
@@ -219,15 +682,10 @@ class WarmExecutorPool:
             if self._closed:
                 return
             self._closed = True
-        for jobs in self._job_queues:
-            try:
-                jobs.put(None)
-            except Exception:  # noqa: BLE001 - queue already torn down
-                pass
-        for worker in self._workers:
-            worker.join(timeout=join_timeout)
-            if self.backend == "process" and worker.is_alive():
-                worker.terminate()
+        for registry, collect in self._metrics_registries:
+            registry.unregister_collector(collect)
+        self._metrics_registries.clear()
+        self._stop_workers(join_timeout)
 
     def __enter__(self) -> "WarmExecutorPool":
         return self

@@ -425,12 +425,15 @@ class InferenceEngine:
         result = ramiel_compile(model, config=dataclasses.replace(
             self.config.pipeline, generate_code=not in_process,
             build_plan=executor == "plan"))
+        # Passing the tracer at construction (rather than set_tracer after)
+        # matters for "process" executors: the pool's channels can only be
+        # instrumented before the workers fork.  Run-level session spans
+        # (and per-step plan spans for "plan" executors) nest inside the
+        # batcher's batch.execute span; pool-backed sessions additionally
+        # ship per-worker execute spans home for merged traces.
         session = create_session(result, executor=executor,
-                                 timeout_s=self.config.timeout_s)
-        if self.tracer is not None:
-            # Run-level session spans (and per-step plan spans for "plan"
-            # executors) nest inside the batcher's batch.execute span.
-            session.set_tracer(self.tracer)
+                                 timeout_s=self.config.timeout_s,
+                                 tracer=self.tracer)
         artifact_cell: list = []
         label = f"{model.name}@{key.short()}"
         watchdog: Optional[_BatchWatchdog] = None
@@ -586,6 +589,20 @@ class InferenceEngine:
                 gauge("serving_pool_clusters",
                       "Warm worker-pool clusters of a cached artifact",
                       labels=labels).set(stats["pool_clusters"])
+            pool_stats = stats.get("pool")
+            if pool_stats is not None:
+                gauge("serving_pool_runs_total",
+                      "Completed pool runs of a cached artifact",
+                      labels=labels).set(pool_stats["runs"])
+                gauge("serving_pool_failures_total",
+                      "Failed pool runs of a cached artifact",
+                      labels=labels).set(pool_stats["failures"])
+                gauge("serving_pool_restarts_total",
+                      "Worker restarts of a cached artifact's pool",
+                      labels=labels).set(pool_stats["restarts"])
+                gauge("serving_pool_execute_seconds_total",
+                      "Cumulative worker execute time of a cached artifact",
+                      labels=labels).set(pool_stats["execute_ns_total"] / 1e9)
 
     # ------------------------------------------------------------------
     # Validation

@@ -536,3 +536,141 @@ class TestServingReportMigration:
         with pytest.warns(DeprecationWarning, match="deprecated"):
             legacy = render_serving_report(metrics.snapshot())
         assert legacy == expected
+
+
+# ---------------------------------------------------------------------------
+# Concurrent emit vs export (the ring-buffer drop-accounting fix)
+# ---------------------------------------------------------------------------
+class TestConcurrentTracerUse:
+    def test_concurrent_emits_are_fully_accounted(self, tmp_path):
+        """N threads hammer one small-capacity tracer while exports race
+        them: every export snapshot must satisfy ``recorded == buffered +
+        dropped``, and the final trace must be well-formed JSON whose span
+        count plus drop count equals exactly what was emitted."""
+        threads_n, per_thread = 8, 500
+        tracer = Tracer(capacity=256)  # far below the emitted volume
+        start = threading.Barrier(threads_n + 1)
+        snapshots = []
+
+        def emitter(worker: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                t0 = tracer.now()
+                tracer.emit(f"w{worker}.{i}", "load", t0, tracer.now())
+
+        workers = [threading.Thread(target=emitter, args=(w,))
+                   for w in range(threads_n)]
+        for t in workers:
+            t.start()
+        start.wait()
+        # export concurrently with the emitters — the racing case that
+        # used to lose drops when events() and stats() read separately
+        for _ in range(50):
+            snapshots.append(tracer.export())
+        for t in workers:
+            t.join()
+        snapshots.append(tracer.export())
+
+        for snap in snapshots:
+            assert snap["recorded"] == snap["buffered"] + snap["dropped"]
+        final = snapshots[-1]
+        assert final["recorded"] == threads_n * per_thread
+        assert final["buffered"] == tracer.capacity
+
+        path = tmp_path / "concurrent.json"
+        tracer.write_chrome_trace(path)
+        payload = json.loads(path.read_text())   # well-formed JSON
+        spans = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert (len(spans) + payload["metadata"]["dropped"]
+                == threads_n * per_thread)
+        assert payload["metadata"]["recorded"] == threads_n * per_thread
+
+    def test_concurrent_async_spans_export_matched_pairs(self):
+        """Async b/e pairs emitted from many threads stay matched per
+        (cat, id) in the export."""
+        tracer = Tracer()  # capacity covers everything: no drops
+        threads_n, per_thread = 6, 50
+        start = threading.Barrier(threads_n)
+
+        def emitter() -> None:
+            start.wait()
+            for _ in range(per_thread):
+                with tracer.async_span("req", cat="rpc",
+                                       id=tracer.next_async_id()):
+                    pass
+
+        workers = [threading.Thread(target=emitter)
+                   for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        payload = tracer.chrome_trace()
+        begins = {}
+        ends = {}
+        for event in payload["traceEvents"]:
+            if event.get("ph") == "b":
+                begins[(event["cat"], event["id"])] = event
+            elif event.get("ph") == "e":
+                ends[(event["cat"], event["id"])] = event
+        assert len(begins) == threads_n * per_thread
+        assert set(begins) == set(ends)
+        for key, begin in begins.items():
+            assert ends[key]["ts"] >= begin["ts"]
+
+    def test_tracer_publishes_drop_counters_to_registry(self):
+        tracer = Tracer(capacity=4)
+        registry = MetricsRegistry()
+        tracer.publish_metrics(registry)
+        for i in range(10):
+            t0 = tracer.now()
+            tracer.emit(f"s{i}", "t", t0, tracer.now())
+        snapshot = registry.snapshot()
+        assert snapshot["tracer_spans_recorded"]["value"] == 10
+        assert snapshot["tracer_spans_dropped"]["value"] == 6
+        assert snapshot["tracer_spans_buffered"]["value"] == 4
+
+
+# ---------------------------------------------------------------------------
+# Lazy exports stay lazy (the PR 6 import-cost pattern)
+# ---------------------------------------------------------------------------
+class TestLazyObservabilityExports:
+    def test_cross_boundary_modules_are_not_imported_eagerly(self):
+        """``import repro.observability`` must not pay for the merge,
+        trajectory or context modules — they load on first attribute
+        access only (checked in a fresh interpreter)."""
+        import subprocess
+        import sys as _sys
+
+        code = (
+            "import sys\n"
+            "import repro.observability\n"
+            "lazy = ['repro.observability.merge',\n"
+            "        'repro.observability.trajectory',\n"
+            "        'repro.observability.context']\n"
+            "eager = [m for m in lazy if m in sys.modules]\n"
+            "assert not eager, f'eagerly imported: {eager}'\n"
+            "import repro\n"
+            "eager = [m for m in lazy if m in sys.modules]\n"
+            "assert not eager, f'import repro pulled in: {eager}'\n"
+            "repro.observability.TraceContext\n"
+            "assert 'repro.observability.context' in sys.modules\n"
+            "repro.observability.merge_traces\n"
+            "assert 'repro.observability.merge' in sys.modules\n"
+            "repro.load_trajectory\n"
+            "assert 'repro.observability.trajectory' in sys.modules\n"
+        )
+        proc = subprocess.run([_sys.executable, "-c", code],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_lazy_names_resolve_to_real_objects(self):
+        import repro
+        import repro.observability as obs
+
+        assert obs.TraceContext is repro.TraceContext
+        assert callable(obs.merge_traces)
+        assert callable(obs.analyze_trajectory)
+        assert obs.WorkerTraceBuffer.__name__ == "WorkerTraceBuffer"
+        with pytest.raises(AttributeError):
+            obs.not_a_real_export
