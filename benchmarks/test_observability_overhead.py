@@ -18,7 +18,11 @@ claim to the same paired-ratio standard as
   ``set_tracer`` attach→detach round trip: the cross-boundary tracing
   rides the job tuple as a ``None`` and costs one ``is None`` check per
   worker job when absent (a looser gate than the plan's, since pool runs
-  include queue hand-off noise).
+  include queue hand-off noise), and
+* a *hardened* pool — live :class:`~repro.resilience.PoolSupervisor`
+  plus a :class:`~repro.resilience.FaultInjector` with no specs armed —
+  must dispatch at parity with a pristine pool: resilience, like
+  tracing, is zero-cost when faults are absent.
 
 Environment knobs (shared with the execution benchmark):
 
@@ -250,3 +254,96 @@ def test_traced_pool_ships_worker_spans(pool_rows):
         assert row["traced_bitwise_ok"], (
             f"{row['model']}: traced pool outputs diverged from the "
             "untraced pool")
+
+
+# ---------------------------------------------------------------------------
+# Hardened (supervised + injectable) pool dispatch parity
+# ---------------------------------------------------------------------------
+#: a pool running under a live supervisor with a fault injector installed
+#: (but no specs armed) must dispatch at parity with a pristine pool: the
+#: resilience layer's cost when faults are absent is one ``is not None``
+#: check per dispatch plus a background thread that only wakes while idle
+HARDENED_PARITY_GATE = POOL_PARITY_GATE
+
+
+def _measure_hardened_pool(model_name: str) -> Dict:
+    from repro.pipeline import PipelineConfig, ramiel_compile
+    from repro.resilience import FaultInjector, PoolSupervisor
+    from repro.runtime.worker_pool import WarmExecutorPool
+
+    model = build_model(model_name, variant="default")
+    feed = example_inputs(model, batch_size=PERF_BATCH, seed=1)
+    result = ramiel_compile(model, config=PipelineConfig(
+        generate_code=True, build_plan=False))
+    weights = result.optimized_model.graph.initializers
+
+    pristine = WarmExecutorPool(result.parallel_module, weights)
+    hardened = WarmExecutorPool(result.parallel_module, weights)
+    supervisor = PoolSupervisor(hardened, interval_s=0.1)
+    try:
+        # injector with no specs: every directive lookup misses, so the
+        # fault slot rides each job as ``None`` — the zero-cost claim
+        hardened.set_fault_injector(FaultInjector(seed=0))
+        supervisor.start()
+        for _ in range(2):                    # warm both symmetrically
+            pristine.run(feed)
+            hardened.run(feed)
+        pristine_s, hardened_s, ratio = _paired_timings(
+            lambda: pristine.run(feed), lambda: hardened.run(feed),
+            PERF_ROUNDS)
+        hardened_output = hardened.run(feed)
+        reference = pristine.run(feed)
+        bitwise_ok = all(
+            np.array_equal(np.asarray(hardened_output[name]),
+                           np.asarray(value))
+            for name, value in reference.items())
+        stats = hardened.stats()
+        sup_stats = supervisor.stats()
+    finally:
+        supervisor.stop()
+        pristine.close()
+        hardened.close()
+    return {
+        "model": model_name,
+        "pristine_ms": round(pristine_s * 1e3, 2),
+        "hardened_ms": round(hardened_s * 1e3, 2),
+        "hardened_ratio": round(ratio, 3),
+        "respawns": stats["respawns"],
+        "supervisor_respawns": sup_stats["respawns"],
+        "supervisor_wedges": sup_stats["wedges_detected"],
+        "hardened_bitwise_ok": bitwise_ok,
+    }
+
+
+@pytest.fixture(scope="module")
+def hardened_rows():
+    return [_measure_hardened_pool(name) for name in OVERHEAD_MODELS]
+
+
+def test_hardened_pool_dispatch_runs_at_parity(hardened_rows):
+    """Supervision + a disarmed fault injector must not tax the fault-free
+    dispatch path: a paired run against a pristine pool stays within the
+    same queue-noise budget as the tracing gate."""
+    print()
+    print(format_rows(hardened_rows))
+    for row in hardened_rows:
+        assert row["hardened_ratio"] * HARDENED_PARITY_GATE >= 1.0, (
+            f"{row['model']}: a supervised pool with a disarmed fault "
+            f"injector is materially slower than a pristine one "
+            f"({row['hardened_ratio']}x, {row['hardened_ms']} ms vs "
+            f"{row['pristine_ms']} ms) — the resilience layer is taxing "
+            "fault-free dispatch")
+
+
+def test_hardened_pool_stays_quiet_and_bitwise_correct(hardened_rows):
+    """A healthy pool under supervision never respawns workers, never
+    flags wedges, and produces bitwise-identical outputs."""
+    for row in hardened_rows:
+        assert row["respawns"] == 0, (
+            f"{row['model']}: supervisor respawned {row['respawns']} "
+            "healthy workers during the parity run")
+        assert row["supervisor_respawns"] == 0
+        assert row["supervisor_wedges"] == 0
+        assert row["hardened_bitwise_ok"], (
+            f"{row['model']}: hardened pool outputs diverged from the "
+            "pristine pool")

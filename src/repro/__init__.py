@@ -23,7 +23,11 @@ with every substrate it depends on:
 * :mod:`repro.observability` — a span tracer with Chrome trace-event
   export (Perfetto-loadable) and one metrics registry (counters, gauges,
   histograms, Prometheus text exposition) shared by plan, session and
-  serving.
+  serving,
+* :mod:`repro.resilience` — self-healing execution: pool worker
+  supervision (dead/wedged detection, single-worker respawn),
+  deterministic fault injection, retry policies, circuit breaking and
+  degraded serving.
 
 Quickstart::
 
@@ -66,6 +70,13 @@ __all__ = [
     "TraceContext",
     "merge_traces",
     "load_trajectory",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "PoolSupervisor",
+    "ResilienceConfig",
+    "ResilientDispatcher",
 ]
 
 
@@ -94,4 +105,10 @@ def __getattr__(name):
         from repro import observability as _observability
 
         return getattr(_observability, name)
+    if name in ("FaultInjector", "FaultSpec", "InjectedFault", "RetryPolicy",
+                "CircuitBreaker", "BreakerOpen", "PoolSupervisor",
+                "ResilienceConfig", "ResilientDispatcher"):
+        from repro import resilience as _resilience
+
+        return getattr(_resilience, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

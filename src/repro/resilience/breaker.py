@@ -1,0 +1,129 @@
+"""An artifact-level circuit breaker with half-open recovery probes.
+
+Retries heal transient faults; a *persistently* failing executor (workers
+that die on every dispatch, a module that wedges its channels) would make
+every request pay the full retry budget before failing.  A
+:class:`CircuitBreaker` sits in front of such an executor:
+
+* **closed** — traffic flows; consecutive failures are counted and any
+  success resets the count;
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  trips: :meth:`allow` returns ``False`` and the caller routes traffic to
+  its degraded fallback (the serving engine uses the in-process ``"plan"``
+  executor) without touching the broken primary;
+* **half-open** — once ``cooldown_s`` has elapsed, :meth:`allow` lets a
+  bounded number of *probe* dispatches through; a probe success closes the
+  breaker (restoring the fast path), a probe failure re-opens it and
+  restarts the cooldown.
+
+Thread-safe; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["BreakerOpen", "CircuitBreaker"]
+
+
+class BreakerOpen(RuntimeError):
+    """Raised by callers that have no fallback when the breaker is open."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed / open / half-open)."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 5.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._opens = 0
+        self._successes = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the next dispatch may use the primary executor.
+
+        In half-open state this *admits a probe* (up to
+        ``half_open_probes`` concurrently); the caller must report the
+        probe's outcome via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open" and \
+                    self._probes_inflight < self.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A primary dispatch succeeded; closes a half-open breaker."""
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+            self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """A primary dispatch failed (after its retries, if any)."""
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._state == "half-open":
+                self._trip()  # the probe failed: back to open, new cooldown
+            elif (self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probes_inflight = 0
+        self._opens += 1
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown_s):
+            self._state = "half-open"
+            self._probes_inflight = 0
+
+    def stats(self) -> Dict:
+        """State plus success/failure/open counters."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "successes": self._successes,
+                "failures": self._failures,
+                "opens": self._opens,
+            }

@@ -29,6 +29,7 @@ import multiprocessing
 import os
 import threading
 import time
+import traceback
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,46 @@ from repro.runtime.channels import make_process_channels, make_thread_channels
 
 class ParallelExecutionError(RuntimeError):
     """Raised when a cluster worker fails or the run times out."""
+
+
+def remote_error_text(exc: BaseException) -> str:
+    """Serialize a worker-side failure as repr **plus** its traceback text.
+
+    Exceptions cannot cross the process boundary with their traceback
+    objects attached, so workers ship this string instead of a bare
+    ``repr(exc)`` — the coordinator's :class:`ParallelExecutionError`
+    message then points at the worker-side frame that actually raised,
+    not just the exception type.
+    """
+    return "%r\nRemote traceback:\n%s" % (exc, traceback.format_exc())
+
+
+def _reap_processes(processes, join_timeout: float = 1.0) -> None:
+    """Terminate, join and close every process; never raises.
+
+    Used on the failure paths: a timed-out run must not leak live
+    children (they would hold inherited memory and channel queues until
+    interpreter exit).
+    """
+    for p in processes:
+        try:
+            if p.is_alive():
+                p.terminate()
+        except Exception:  # noqa: BLE001 - already reaped
+            pass
+    for p in processes:
+        try:
+            p.join(timeout=join_timeout)
+            if p.is_alive():  # terminate lost the race: escalate
+                p.kill()
+                p.join(timeout=join_timeout)
+        except Exception:  # noqa: BLE001 - already reaped
+            pass
+    for p in processes:
+        try:
+            p.close()
+        except Exception:  # noqa: BLE001 - still-running straggler
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -130,7 +171,7 @@ def _process_worker(fn, inputs, weights, channels, result_queue, index,
                 fn, inputs, weights, channels, trace_ctx, index)
             result_queue.put((index, outputs, None, payload))
     except BaseException as exc:  # noqa: BLE001 - serialize the failure
-        result_queue.put((index, {}, repr(exc), None))
+        result_queue.put((index, {}, remote_error_text(exc), None))
 
 
 def _run_processes(module, inputs, weights, timeout: float,
@@ -160,8 +201,9 @@ def _run_processes(module, inputs, weights, timeout: float,
     while pending > 0:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
-            for p in processes:
-                p.terminate()
+            # Reap every child before raising: a bare join-with-timeout
+            # here used to leak live worker processes on timeout.
+            _reap_processes(processes)
             raise ParallelExecutionError(
                 f"parallel execution of {module.MODEL_NAME!r} timed out after {timeout}s"
             )
@@ -177,12 +219,18 @@ def _run_processes(module, inputs, weights, timeout: float,
             failures.append(f"cluster {index}: {error}")
         else:
             merged.update(outputs)
+    if failures:
+        _reap_processes(processes)
+        raise ParallelExecutionError("; ".join(failures))
     for p in processes:
         p.join(timeout=1.0)
         if p.is_alive():  # pragma: no cover - stragglers after results arrived
             p.terminate()
-    if failures:
-        raise ParallelExecutionError("; ".join(failures))
+            p.join(timeout=1.0)
+        try:
+            p.close()
+        except Exception:  # noqa: BLE001 - still-running straggler
+            pass
     return merged
 
 

@@ -274,6 +274,49 @@ class Session:
         """Mark the session unusable (e.g. a run is wedged inside it)."""
         self._broken = reason
 
+    def recover(self) -> "Session":
+        """Rebuild this session's executor in place and clear ``broken``.
+
+        The retry path's repair hook: instead of discarding a broken
+        session (and the compiled artifact inside it) and recompiling,
+        replace just the execution machinery:
+
+        * pool-backed sessions :meth:`~WarmExecutorPool.heal` the pool
+          (respawn dead workers individually); if it is still broken —
+          e.g. a wedged-but-alive worker the pool cannot identify — they
+          fall back to a full :meth:`~WarmExecutorPool.restart`;
+        * ``"plan"`` sessions build a **fresh** :class:`ExecutionPlan`
+          over the same optimized model — a watchdogged run may hold the
+          old plan's run lock forever, so the old object is abandoned,
+          not reused;
+        * ``"interp"`` sessions get a fresh :class:`GraphExecutor`.
+
+        Existing :class:`IOBinding` objects remain valid: they reference
+        the session, not the replaced executor.  The attached tracer is
+        re-propagated.  Raises if the session is closed.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"cannot recover closed session for {self.model_name!r}")
+        if self._pool is not None:
+            self._pool.heal()
+            if self._pool.broken:
+                self._pool.restart()
+        elif self._plan is not None:
+            if self.result is not None:
+                source = self.result.optimized_model
+            else:  # a bare-ExecutionPlan artifact: rebuild over its graph
+                source = self._plan.graph
+            old = self._plan
+            self._plan = ExecutionPlan(source, fuse=old.fused,
+                                       heavy_out=old.heavy_out)
+            if self._tracer is not None:
+                self._plan.enable_tracing(self._tracer)
+        elif self._interp is not None:
+            self._interp = GraphExecutor(self.result.optimized_model)
+        self._broken = None
+        return self
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------

@@ -50,6 +50,20 @@ publish into a shared ``MetricsRegistry`` via :meth:`publish_metrics`.
 Channel byte/ns accounting for the ``"process"`` backend requires the
 tracer at *construction* time (the wrapped channels are inherited at
 fork); span shipping works whenever a tracer is attached.
+
+**Self-healing.**  The pool also exposes the supervision primitives
+:mod:`repro.resilience` builds on: per-worker *heartbeats* (the last time
+a worker produced any message — job result, clock-sync or ``__ping__``
+reply), :meth:`worker_alive` / :meth:`inflight` liveness probes,
+:meth:`fail_inflight` (fail a stuck run on behalf of a dead or wedged
+worker in seconds instead of waiting out the batch timeout),
+:meth:`respawn_worker` / :meth:`heal` (replace a *single* failed worker —
+fresh job queue, reused channels and weights, a one-worker clock-sync
+handshake — instead of a full :meth:`restart`), and
+:meth:`set_fault_injector` (ship deterministic fault directives to the
+workers for chaos testing; ``None`` directives cost one ``is not None``
+check per job).  Worker failures ship their **remote traceback text**
+home, so a cross-process exception reads like a local one.
 """
 
 from __future__ import annotations
@@ -61,23 +75,27 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.observability.context import TraceContext
 from repro.observability.merge import WorkerTraceBuffer
 from repro.observability.trace import Tracer
+from repro.resilience.faults import apply_worker_fault
 from repro.runtime.channels import (
     ChannelTelemetry,
     instrument_channels,
     make_process_channels,
     make_thread_channels,
 )
-from repro.runtime.process_runtime import ParallelExecutionError
+from repro.runtime.process_runtime import ParallelExecutionError, remote_error_text
 
 #: sentinel ticket for the clock-offset handshake messages
 _SYNC = "__sync__"
+
+#: sentinel ticket for supervisor heartbeat pings (reply proves liveness)
+_PING = "__ping__"
 
 #: per-worker local tracer capacity; one run's spans are drained after
 #: every job, so this only bounds a single job's recording
@@ -114,12 +132,26 @@ def _thread_worker(fn, weights, jobs, done, index) -> None:
         if job is None:
             return
         ticket = job[0]
-        if ticket == _SYNC:
-            done.put((_SYNC, index, time.perf_counter_ns(), None, 0, None))
+        if ticket == _SYNC or ticket == _PING:
+            done.put((ticket, index, time.perf_counter_ns(), None, 0, None))
             continue
         received_ns = time.perf_counter_ns()
-        _, inputs, channels, ctx = job
+        _, inputs, channels, ctx, fault = job
         start_ns = time.perf_counter_ns()
+        if fault is not None:
+            try:
+                action = apply_worker_fault(fault, is_process=False)
+            except BaseException as exc:  # noqa: BLE001 - injected failure
+                done.put((ticket, index, {}, remote_error_text(exc),
+                          time.perf_counter_ns() - start_ns, None))
+                continue
+            if action == "silent":
+                if fault[0] == "crash":
+                    return  # the thread vanishes without replying
+                continue  # hang: stay silent for this job
+            if action == "corrupt":
+                done.put(("__corrupt__", index))
+                continue
         try:
             if ctx is None:
                 outputs = fn(inputs, weights, channels)
@@ -141,7 +173,7 @@ def _thread_worker(fn, weights, jobs, done, index) -> None:
             payload = _drain_worker_tracer(tracer, ctx, queue_wait_ns, None)
             done.put((ticket, index, outputs, None, exec_ns, payload))
         except BaseException as exc:  # noqa: BLE001 - propagate to the caller
-            done.put((ticket, index, {}, repr(exc),
+            done.put((ticket, index, {}, remote_error_text(exc),
                       time.perf_counter_ns() - start_ns, None))
 
 
@@ -153,12 +185,24 @@ def _process_worker(fn, weights, channels, jobs, done, index,
         if job is None:
             return
         ticket = job[0]
-        if ticket == _SYNC:
-            done.put((_SYNC, index, time.perf_counter_ns(), None, 0, None))
+        if ticket == _SYNC or ticket == _PING:
+            done.put((ticket, index, time.perf_counter_ns(), None, 0, None))
             continue
         received_ns = time.perf_counter_ns()
-        _, inputs, ctx = job
+        _, inputs, ctx, fault = job
         start_ns = time.perf_counter_ns()
+        if fault is not None:
+            try:
+                action = apply_worker_fault(fault, is_process=True)
+            except BaseException as exc:  # noqa: BLE001 - injected failure
+                done.put((ticket, index, {}, remote_error_text(exc),
+                          time.perf_counter_ns() - start_ns, None))
+                continue
+            if action == "silent":
+                continue  # hang: stay silent for this job
+            if action == "corrupt":
+                done.put(("__corrupt__", index))
+                continue
         try:
             if ctx is None:
                 outputs = fn(inputs, weights, channels)
@@ -186,7 +230,7 @@ def _process_worker(fn, weights, channels, jobs, done, index,
                                            channel_delta)
             done.put((ticket, index, outputs, None, exec_ns, payload))
         except BaseException as exc:  # noqa: BLE001 - serialize the failure
-            done.put((ticket, index, {}, repr(exc),
+            done.put((ticket, index, {}, remote_error_text(exc),
                       time.perf_counter_ns() - start_ns, None))
 
 
@@ -214,7 +258,8 @@ class WarmExecutorPool:
     """
 
     def __init__(self, module, weights: Mapping[str, np.ndarray],
-                 backend: str = "thread", tracer: Optional[Tracer] = None) -> None:
+                 backend: str = "thread", tracer: Optional[Tracer] = None,
+                 fail_grace_s: float = 2.0) -> None:
         as_cluster_module = getattr(module, "as_cluster_module", None)
         if as_cluster_module is not None:  # an ExecutionPlan
             module = as_cluster_module()
@@ -230,6 +275,20 @@ class WarmExecutorPool:
         self._close_lock = threading.Lock()
         self._closed = False
         self._broken = False
+
+        # -- resilience state ------------------------------------------
+        #: once a worker failure arrives mid-collection, wait at most this
+        #: long for straggler results before failing the run — a broken run
+        #: should cost seconds, not the full batch timeout
+        self._fail_grace_s = fail_grace_s
+        #: (ticket, started_monotonic) of the run in flight, else None
+        self._inflight: Optional[Tuple[int, float]] = None
+        #: optional deterministic FaultInjector consulted per dispatch
+        self._injector = None
+        #: last time each worker produced any message (monotonic seconds)
+        self._heartbeats: List[float] = [time.monotonic()] * self._num_clusters
+        self._worker_respawns = [0] * self._num_clusters
+        self._protocol_errors = 0
 
         # -- observability state ---------------------------------------
         self._tracer = tracer
@@ -269,15 +328,8 @@ class WarmExecutorPool:
     def _spawn(self) -> None:
         """Create queues (+ channels for the process backend) and workers."""
         if self.backend == "thread":
-            self._job_queues = [queue.Queue() for _ in range(self._num_clusters)]
+            self._mp_ctx = None
             self._done: "queue.Queue" = queue.Queue()
-            self._workers = [
-                threading.Thread(
-                    target=_thread_worker,
-                    args=(fn, self._weights, self._job_queues[i], self._done, i),
-                    daemon=True, name=f"warm-cluster-{i}")
-                for i, fn in enumerate(self.module.CLUSTER_FUNCTIONS)
-            ]
             self._channels = None  # fresh thread channels per run
         else:
             try:
@@ -286,28 +338,48 @@ class WarmExecutorPool:
                 raise ParallelExecutionError(
                     "the warm process pool requires the 'fork' start method"
                 ) from exc
+            self._mp_ctx = ctx
             # Channels are created once and inherited at fork; every run
             # drains them completely, so they can be reused across runs.
             channels = make_process_channels(self.module.CHANNEL_NAMES, ctx=ctx)
             if self._telemetry is not None:
                 channels = instrument_channels(channels, self._telemetry)
             self._channels = channels
-            self._job_queues = [ctx.Queue() for _ in range(self._num_clusters)]
             self._done = ctx.Queue()
-            self._workers = [
-                ctx.Process(
-                    target=_process_worker,
-                    args=(fn, self._weights, self._channels,
-                          self._job_queues[i], self._done, i,
-                          self._telemetry),
-                    daemon=True, name=f"warm-cluster-{i}")
-                for i, fn in enumerate(self.module.CLUSTER_FUNCTIONS)
-            ]
+        self._job_queues = [None] * self._num_clusters
+        self._workers = [None] * self._num_clusters
+        for index in range(self._num_clusters):
+            self._job_queues[index], self._workers[index] = \
+                self._make_worker(index)
         for worker in self._workers:
             worker.start()
+        self._heartbeats = [time.monotonic()] * self._num_clusters
         self._sync_clocks()
 
-    def _sync_clocks(self, timeout: float = 60.0, rounds: int = 3) -> None:
+    def _make_worker(self, index: int):
+        """Build (job queue, unstarted worker) for one cluster index.
+
+        A fresh job queue per (re)spawn keeps a replacement worker from
+        inheriting stale jobs a dead or wedged predecessor never consumed.
+        """
+        fn = self.module.CLUSTER_FUNCTIONS[index]
+        if self.backend == "thread":
+            jobs = queue.Queue()
+            worker = threading.Thread(
+                target=_thread_worker,
+                args=(fn, self._weights, jobs, self._done, index),
+                daemon=True, name=f"warm-cluster-{index}")
+        else:
+            jobs = self._mp_ctx.Queue()
+            worker = self._mp_ctx.Process(
+                target=_process_worker,
+                args=(fn, self._weights, self._channels, jobs, self._done,
+                      index, self._telemetry),
+                daemon=True, name=f"warm-cluster-{index}")
+        return jobs, worker
+
+    def _sync_clocks(self, timeout: float = 60.0, rounds: int = 3,
+                     indices: Optional[Sequence[int]] = None) -> None:
         """Measure each worker's clock offset with ping/pong handshakes.
 
         The coordinator records its clock, sends a sync message, and the
@@ -319,31 +391,42 @@ class WarmExecutorPool:
         platforms ``perf_counter_ns`` is machine-wide so the measured
         offset is the handshake noise floor, but the merge stays correct
         anywhere worker clocks genuinely diverge — and the handshake
-        doubles as a worker liveness check at (re)spawn time.
+        doubles as a worker liveness check at (re)spawn time.  With
+        ``indices`` it syncs (and liveness-checks) only those workers —
+        the single-worker respawn path.
         """
-        best_rtt = [None] * self._num_clusters
+        targets = (list(range(self._num_clusters)) if indices is None
+                   else sorted(set(indices)))
+        best_rtt: Dict[int, Optional[int]] = {i: None for i in targets}
         deadline = time.monotonic() + timeout
         for _ in range(max(rounds, 1)):
-            sent_ns: List[int] = []
-            for jobs in self._job_queues:
-                sent_ns.append(time.perf_counter_ns())
-                jobs.put((_SYNC, None))
-            pending = self._num_clusters
-            while pending > 0:
+            sent_ns: Dict[int, int] = {}
+            for i in targets:
+                sent_ns[i] = time.perf_counter_ns()
+                self._job_queues[i].put((_SYNC, None))
+            pending = set(targets)
+            while pending:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self._broken = True
                     raise ParallelExecutionError(
                         f"worker clock handshake for "
                         f"{self.module.MODEL_NAME!r} timed out after "
-                        f"{timeout}s ({pending}/{self._num_clusters} "
+                        f"{timeout}s ({len(pending)}/{len(targets)} "
                         "workers silent)")
                 try:
-                    ticket, index, worker_ns, _, _, _ = self._done.get(
-                        timeout=min(remaining, 0.5))
+                    item = self._done.get(timeout=min(remaining, 0.5))
                 except queue.Empty:
                     continue
-                if ticket != _SYNC:
+                if not isinstance(item, tuple) or len(item) != 6:
+                    self._protocol_errors += 1
+                    continue  # corrupted straggler; the handshake goes on
+                ticket, index, worker_ns, _, _, _ = item
+                if isinstance(index, int) and 0 <= index < self._num_clusters:
+                    self._note_heartbeat(index)
+                if ticket == _PING:
+                    continue  # liveness reply, not a handshake reply
+                if ticket != _SYNC or index not in pending:
                     continue  # straggler of a pre-restart run
                 reply_ns = time.perf_counter_ns()
                 rtt = reply_ns - sent_ns[index]
@@ -351,7 +434,7 @@ class WarmExecutorPool:
                     best_rtt[index] = rtt
                     self._clock_offsets[index] = int(
                         worker_ns - (sent_ns[index] + reply_ns) // 2)
-                pending -= 1
+                pending.discard(index)
 
     def restart(self, join_timeout: float = 2.0) -> None:
         """Tear down the workers and spawn a fresh set; clears ``broken``.
@@ -383,10 +466,264 @@ class WarmExecutorPool:
                 worker.terminate()
 
     # ------------------------------------------------------------------
+    # Supervision primitives (consumed by repro.resilience.PoolSupervisor)
+    # ------------------------------------------------------------------
+    def _note_heartbeat(self, index: int) -> None:
+        if 0 <= index < self._num_clusters:
+            self._heartbeats[index] = time.monotonic()
+
+    def worker_alive(self, index: int) -> bool:
+        """Whether worker ``index``'s thread/process is currently alive."""
+        worker = self._workers[index]
+        return worker is not None and worker.is_alive()
+
+    def heartbeat_age(self, index: int) -> float:
+        """Seconds since worker ``index`` last produced any message."""
+        return max(time.monotonic() - self._heartbeats[index], 0.0)
+
+    def inflight(self) -> Optional[Tuple[int, float]]:
+        """``(ticket, started_monotonic)`` of the run in flight, or None."""
+        return self._inflight
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or detach, with ``None``) a deterministic FaultInjector.
+
+        When attached, every dispatched job consults
+        ``injector.directive("worker.execute", worker=i)`` and ships the
+        result in the job tuple's fault slot; detached dispatch ships
+        ``None`` and the workers pay one ``is not None`` check (gated at
+        parity in ``benchmarks/test_observability_overhead.py``).
+        """
+        self._injector = injector
+
+    def ping_workers(self) -> None:
+        """Enqueue a ``__ping__`` heartbeat ticket for every worker.
+
+        A live worker replies on the done queue as soon as it drains its
+        job queue; the reply refreshes its heartbeat wherever it is
+        consumed (:meth:`_collect`, :meth:`_sync_clocks` or
+        :meth:`poll_done`).  A wedged worker never replies — which is the
+        signal the supervisor's hang detection keys on.
+        """
+        if self._closed:
+            return
+        for jobs in self._job_queues:
+            try:
+                jobs.put((_PING, None))
+            except Exception:  # noqa: BLE001 - queue being torn down
+                pass
+
+    def poll_done(self, max_items: int = 64) -> int:
+        """Drain ready done-queue messages while the pool is idle.
+
+        Non-blocking (skips entirely if a run holds the pool lock):
+        consumes up to ``max_items`` ready messages — ping/sync replies
+        and stragglers of failed runs — recording heartbeats, so idle
+        supervision does not grow the done queue without bound.  Returns
+        the number of messages consumed.
+        """
+        if not self._lock.acquire(blocking=False):
+            return 0
+        try:
+            consumed = 0
+            while consumed < max_items:
+                try:
+                    item = self._done.get_nowait()
+                except Exception:  # noqa: BLE001 - queue.Empty for both kinds
+                    break
+                consumed += 1
+                if isinstance(item, tuple) and len(item) == 6 \
+                        and isinstance(item[1], int):
+                    self._note_heartbeat(item[1])
+                else:
+                    self._protocol_errors += 1
+            return consumed
+        finally:
+            self._lock.release()
+
+    def fail_inflight(self, index: int, reason: str) -> bool:
+        """Fail the in-flight run on behalf of a dead or wedged worker.
+
+        Posts a synthetic failure message carrying the current ticket to
+        the done queue, so :meth:`_collect` surfaces the failure within
+        the *fail grace* window instead of waiting out the full batch
+        timeout.  Returns False when no run is in flight.  Lock-free by
+        design: the caller (the supervisor) must work while :meth:`run`
+        holds the pool lock.
+        """
+        inflight = self._inflight
+        if inflight is None:
+            return False
+        ticket, _ = inflight
+        self._done.put((ticket, index, {}, reason, 0, None))
+        return True
+
+    def respawn_worker(self, index: int, join_timeout: float = 2.0,
+                       sync_timeout: float = 60.0) -> None:
+        """Replace the single worker ``index`` with a fresh one.
+
+        Unlike :meth:`restart` this keeps every healthy worker (and, for
+        the process backend, the fork-inherited channels) in place: the
+        failed worker is terminated/abandoned, a replacement is spawned
+        over the same cluster function and weights with a *fresh* job
+        queue, and a one-worker clock handshake re-measures its offset.
+        Clears ``broken`` once every worker is alive again.  Counted in
+        ``stats()["respawns"]`` (the full-restart counter is untouched).
+        """
+        with self._lock:
+            if self._closed:
+                raise ParallelExecutionError(
+                    "cannot respawn a worker of a closed pool")
+            self._respawn_locked(index, join_timeout, sync_timeout)
+            if all(self.worker_alive(i) for i in range(self._num_clusters)):
+                self._broken = False
+
+    def _respawn_locked(self, index: int, join_timeout: float,
+                        sync_timeout: float) -> None:
+        old = self._workers[index]
+        if (self.backend == "process" and self._channels
+                and old is not None and old.is_alive()):
+            # Terminating a live process worker can kill it while it holds
+            # a shared channel-queue lock (a worker blocked in a channel
+            # ``get`` holds that queue's reader lock), poisoning the
+            # channel for every successor.  The only safe recovery that
+            # involves force-terminating live workers is a full worker-set
+            # respawn over *fresh* channels.
+            self._respawn_all_locked(join_timeout, sync_timeout)
+            return
+        try:  # a healthy-but-abandoned worker exits on the sentinel
+            self._job_queues[index].put(None)
+        except Exception:  # noqa: BLE001 - queue already torn down
+            pass
+        if self.backend == "process":
+            if old is not None and old.is_alive():
+                old.terminate()
+            if old is not None:
+                old.join(join_timeout)
+                try:
+                    old.close()
+                except Exception:  # noqa: BLE001 - still-running straggler
+                    pass
+            # A mid-run death can strand items in the fork-inherited
+            # channels; drain them so the next run starts from empty.
+            self._drain_channels()
+        # A wedged *thread* cannot be killed: it is abandoned (daemonic,
+        # parked on the old job queue or a stale channel) and leaks until
+        # its blocking call returns — the documented watchdog contract.
+        jobs, worker = self._make_worker(index)
+        self._job_queues[index] = jobs
+        self._workers[index] = worker
+        worker.start()
+        self._note_heartbeat(index)
+        self._worker_respawns[index] += 1
+        self._sync_clocks(timeout=sync_timeout, indices=[index])
+
+    def _respawn_all_locked(self, join_timeout: float,
+                            sync_timeout: float) -> None:
+        """Replace every process worker over fresh channels and done queue.
+
+        The escalation path for process-backend heals that must terminate
+        *live* (wedged) workers: a worker killed while blocked inside a
+        channel ``get``/``put`` dies holding the queue's shared lock, so
+        the inherited channels (and, in the worst race, the done queue)
+        cannot be trusted afterwards.  Weights and the compiled module are
+        still reused — this costs worker startup, never a recompile — and
+        it is counted per worker in ``stats()["respawns"]``, not as a
+        ``restart``.
+        """
+        for jobs in self._job_queues:
+            try:
+                jobs.put(None)
+            except Exception:  # noqa: BLE001 - queue already torn down
+                pass
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                if worker.is_alive():
+                    worker.terminate()
+            except Exception:  # noqa: BLE001 - already reaped
+                pass
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.join(join_timeout)
+                if worker.is_alive():
+                    worker.kill()
+                    worker.join(join_timeout)
+            except Exception:  # noqa: BLE001 - already reaped
+                pass
+            try:
+                worker.close()
+            except Exception:  # noqa: BLE001 - still-running straggler
+                pass
+        channels = make_process_channels(self.module.CHANNEL_NAMES,
+                                         ctx=self._mp_ctx)
+        if self._telemetry is not None:
+            channels = instrument_channels(channels, self._telemetry)
+        self._channels = channels
+        self._done = self._mp_ctx.Queue()
+        for index in range(self._num_clusters):
+            jobs, worker = self._make_worker(index)
+            self._job_queues[index] = jobs
+            self._workers[index] = worker
+            self._note_heartbeat(index)
+            self._worker_respawns[index] += 1
+        for worker in self._workers:
+            worker.start()
+        self._sync_clocks(timeout=sync_timeout)
+
+    def _drain_channels(self) -> None:
+        if not self._channels:
+            return
+        for channel in self._channels.values():
+            inner = getattr(channel, "_channel", channel)
+            for _ in range(100000):  # bounded: a stranded run's leftovers
+                try:
+                    inner.get_nowait()
+                except Exception:  # noqa: BLE001 - Empty / closed queue
+                    break
+
+    def heal(self, wedged: Sequence[int] = (), join_timeout: float = 2.0,
+             sync_timeout: float = 60.0) -> List[int]:
+        """Respawn every dead worker (plus explicitly ``wedged`` ones).
+
+        The supervisor's recovery entry point: detects nothing itself,
+        just replaces the workers it is told about (and any it finds
+        dead), then clears ``broken`` when the full complement is alive.
+        Returns the respawned indices.
+        """
+        with self._lock:
+            if self._closed:
+                raise ParallelExecutionError("cannot heal a closed pool")
+            targets = sorted(set(wedged) | {
+                i for i in range(self._num_clusters)
+                if not self.worker_alive(i)})
+            if (self.backend == "process" and self._channels and targets
+                    and any(self.worker_alive(i) for i in targets)):
+                # Force-terminating live (wedged) process workers can
+                # poison the shared channels (see _respawn_all_locked):
+                # escalate once to a fresh-channel full respawn.
+                self._respawn_all_locked(join_timeout, sync_timeout)
+                targets = list(range(self._num_clusters))
+            else:
+                for index in targets:
+                    self._respawn_locked(index, join_timeout, sync_timeout)
+            if all(self.worker_alive(i) for i in range(self._num_clusters)):
+                self._broken = False
+            return targets
+
+    # ------------------------------------------------------------------
     @property
     def num_clusters(self) -> int:
         """Number of persistent workers (one per cluster)."""
         return self._num_clusters
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
 
     @property
     def broken(self) -> bool:
@@ -483,6 +820,8 @@ class WarmExecutorPool:
             "runs": self._runs,
             "failures": self._failures,
             "restarts": self._restarts,
+            "respawns": sum(self._worker_respawns),
+            "protocol_errors": self._protocol_errors,
             "occupancy": self._occupancy,
             "dispatch_ns_total": self._dispatch_ns,
             "collect_wait_ns_total": self._collect_wait_ns,
@@ -490,6 +829,9 @@ class WarmExecutorPool:
             "workers": [
                 {"worker": index,
                  "jobs": self._worker_jobs[index],
+                 "alive": self.worker_alive(index),
+                 "respawns": self._worker_respawns[index],
+                 "heartbeat_age_s": self.heartbeat_age(index),
                  "execute_ns_total": self._worker_execute_ns[index],
                  "queue_wait_ns_total": self._worker_queue_wait_ns[index],
                  "spans_buffered": len(self._worker_spans[index]),
@@ -528,6 +870,16 @@ class WarmExecutorPool:
             gauge("pool_worker_restarts_total",
                   "Times the pool's workers were restarted",
                   labels=labels).set(stats["restarts"])
+            gauge("pool_worker_respawns_total",
+                  "Single workers replaced by supervision (no full restart)",
+                  labels=labels).set(stats["respawns"])
+            gauge("pool_protocol_errors_total",
+                  "Malformed result-channel messages observed",
+                  labels=labels).set(stats["protocol_errors"])
+            gauge("pool_workers_alive",
+                  "Workers whose thread/process is currently alive",
+                  labels=labels).set(
+                      sum(1 for row in stats["workers"] if row["alive"]))
             gauge("pool_occupancy", "Runs currently executing (0 or 1)",
                   labels=labels).set(stats["occupancy"])
             gauge("pool_dispatch_seconds_total",
@@ -591,7 +943,13 @@ class WarmExecutorPool:
             feed = dict(inputs)
             tracer = self._tracer
             ctx = TraceContext.from_tracer(tracer, parent_span="pool.run")
+            injector = self._injector
+            faults = None
+            if injector is not None:
+                faults = [injector.directive("worker.execute", worker=i)
+                          for i in range(self._num_clusters)]
             self._occupancy = 1
+            self._inflight = (ticket, time.monotonic())
             run_start_ns = time.perf_counter_ns()
             try:
                 if self.backend == "thread":
@@ -599,11 +957,13 @@ class WarmExecutorPool:
                     if ctx is not None and self._telemetry is not None:
                         channels = instrument_channels(channels,
                                                        self._telemetry)
-                    for jobs in self._job_queues:
-                        jobs.put((ticket, feed, channels, ctx))
+                    for i, jobs in enumerate(self._job_queues):
+                        jobs.put((ticket, feed, channels, ctx,
+                                  faults[i] if faults is not None else None))
                 else:
-                    for jobs in self._job_queues:
-                        jobs.put((ticket, feed, ctx))
+                    for i, jobs in enumerate(self._job_queues):
+                        jobs.put((ticket, feed, ctx,
+                                  faults[i] if faults is not None else None))
                 dispatch_ns = time.perf_counter_ns() - run_start_ns
                 self._dispatch_ns += dispatch_ns
                 outputs = self._collect(ticket, timeout)
@@ -614,6 +974,7 @@ class WarmExecutorPool:
                 raise
             finally:
                 self._occupancy = 0
+                self._inflight = None
                 end_ns = time.perf_counter_ns()
                 if self._run_histogram is not None:
                     self._run_histogram.observe((end_ns - run_start_ns) / 1e9)
@@ -636,14 +997,31 @@ class WarmExecutorPool:
             if remaining <= 0:
                 self._broken = True
                 self._collect_wait_ns += time.perf_counter_ns() - wait_start_ns
+                if failures:
+                    # a worker already failed; the others are presumed
+                    # stranded — surface the real failure, not a timeout
+                    raise ParallelExecutionError("; ".join(failures))
                 raise ParallelExecutionError(
                     f"warm execution of {self.module.MODEL_NAME!r} timed out "
                     f"after {timeout}s (possible deadlock)")
             try:
-                got_ticket, index, outputs, error, exec_ns, payload = \
-                    self._done.get(timeout=min(remaining, 0.5))
+                item = self._done.get(timeout=min(remaining, 0.5))
             except queue.Empty:
                 continue
+            if not isinstance(item, tuple) or len(item) != 6:
+                # a malformed result-channel message cannot be attributed
+                # to a worker, so the run cannot complete: fail fast
+                self._protocol_errors += 1
+                self._broken = True
+                self._collect_wait_ns += time.perf_counter_ns() - wait_start_ns
+                raise ParallelExecutionError(
+                    f"corrupted result-channel message during warm run of "
+                    f"{self.module.MODEL_NAME!r}: {item!r:.200}")
+            got_ticket, index, outputs, error, exec_ns, payload = item
+            if isinstance(index, int):
+                self._note_heartbeat(index)
+            if got_ticket == _SYNC or got_ticket == _PING:
+                continue  # liveness/handshake reply; heartbeat noted above
             if got_ticket != ticket:
                 continue  # straggler of an earlier, failed run
             pending -= 1
@@ -655,6 +1033,11 @@ class WarmExecutorPool:
                 self._ingest_trace_payload(index, payload)
             if error is not None:
                 failures.append(f"cluster {index}: {error}")
+                # once one worker failed, its peers may be stranded on
+                # channels that will never fill: collect stragglers for a
+                # short grace window, then fail the run
+                deadline = min(deadline,
+                               time.monotonic() + self._fail_grace_s)
             else:
                 merged.update(outputs)
         self._collect_wait_ns += time.perf_counter_ns() - wait_start_ns

@@ -57,6 +57,7 @@ from repro.pipeline import (
     model_fingerprint,
     ramiel_compile,
 )
+from repro.resilience import PoolSupervisor, ResilienceConfig, ResilientDispatcher
 from repro.runtime.process_runtime import execute_generated_module
 from repro.runtime.session import IOBinding, Session, create_session, validate_executor
 from repro.serving.artifact_cache import ArtifactCache, ArtifactKey
@@ -98,6 +99,13 @@ class EngineConfig:
     #: run batches on a watchdog thread so a stuck batch cannot pin the
     #: micro-batcher forever)
     timeout_s: float = 300.0
+    #: self-healing policy stack (:class:`repro.resilience.ResilienceConfig`):
+    #: worker supervision, batch retry with session recovery, artifact-level
+    #: circuit breaking and degraded fallback onto the in-process "plan"
+    #: executor.  ``None`` (the default) keeps the legacy fail-fast
+    #: behavior: a failed batch fails its requests and a broken artifact is
+    #: invalidated for recompilation.
+    resilience: Optional[ResilienceConfig] = None
     #: compilation settings applied to every model served by this engine
     pipeline: PipelineConfig = dataclasses.field(default_factory=PipelineConfig)
 
@@ -159,6 +167,19 @@ class _BatchWatchdog:
                 f"batch execution for {self.label!r} timed out after "
                 f"{timeout}s; the artifact is invalidated and the next "
                 "request recompiles") from None
+
+    def reset(self) -> None:
+        """Clear ``broken`` after the session behind it has been recovered.
+
+        The wedged run may still occupy the old single worker thread, so
+        the executor is replaced wholesale — the abandoned thread leaks
+        until its run returns, exactly like a watchdogged timeout.
+        """
+        old = self._executor
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"serve-watchdog-{self.label}")
+        old.shutdown(wait=False)
+        self._broken = None
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)
@@ -238,6 +259,13 @@ class CompiledArtifact:
     session: Optional[Session] = None
     #: watchdog thread for in-process ("plan"/"interp") sessions
     watchdog: Optional[_BatchWatchdog] = None
+    #: retry/breaker/degradation wrapper (``EngineConfig.resilience`` set)
+    dispatcher: Optional[ResilientDispatcher] = None
+    #: worker supervisor of a pool-backed resilient artifact
+    supervisor: Optional[PoolSupervisor] = None
+    #: lazily-built degraded fallback: ``[(plan session, its watchdog)]``
+    #: once the breaker first routes around the broken primary
+    degraded_cell: Optional[list] = None
     #: whether concurrent requests may be fused along the batch axis (some
     #: generated code bakes the batch size into static reshapes — e.g.
     #: BERT's attention head splits — and must be served one request at a time)
@@ -261,10 +289,16 @@ class CompiledArtifact:
     def close(self) -> None:
         """Shut down the batcher, watchdog and session (warm pool included)."""
         self.batcher.close()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self.watchdog is not None:
             self.watchdog.close()
         if self.session is not None:
             self.session.close()
+        if self.degraded_cell:
+            fb_session, fb_watchdog = self.degraded_cell[0]
+            fb_watchdog.close()
+            fb_session.close()
 
 
 class InferenceEngine:
@@ -436,8 +470,12 @@ class InferenceEngine:
                                  tracer=self.tracer)
         artifact_cell: list = []
         label = f"{model.name}@{key.short()}"
+        resilience = self.config.resilience
         watchdog: Optional[_BatchWatchdog] = None
         stacker: Optional[_PinnedStacker] = None
+        dispatcher: Optional[ResilientDispatcher] = None
+        supervisor: Optional[PoolSupervisor] = None
+        degraded_cell: Optional[list] = None
 
         def invalidate() -> None:
             if artifact_cell:
@@ -447,20 +485,12 @@ class InferenceEngine:
             watchdog = _BatchWatchdog(label)
             stacker = _PinnedStacker(session, self.config.max_batch_size)
 
-            def run_batch(stacked) -> Dict[str, np.ndarray]:
+            def execute(stacked) -> Dict[str, np.ndarray]:
                 # The stacker hands back either a pinned IOBinding (fused
                 # batch) or a plain feed dict (single request / fallback).
                 fn = (session.run_with_binding
                       if isinstance(stacked, IOBinding) else session.run)
-                try:
-                    outputs = watchdog.run(fn, stacked, self.config.timeout_s)
-                except ServingError:
-                    # Timed-out (or already-broken) watchdog: the stuck run
-                    # may hold the plan lock forever — retire the session
-                    # and drop the artifact so the next request recompiles.
-                    session.mark_broken("batch watchdog timeout")
-                    invalidate()
-                    raise
+                outputs = watchdog.run(fn, stacked, self.config.timeout_s)
                 # Outputs that alias the pinned staging buffers would be
                 # overwritten by the next batch; hand out private copies.
                 staging = stacker.staging_buffers
@@ -472,7 +502,44 @@ class InferenceEngine:
                             outputs[name] = np.array(array)
                 return outputs
 
-            run_once = run_batch
+            if resilience is None:
+                def run_batch(stacked) -> Dict[str, np.ndarray]:
+                    try:
+                        return execute(stacked)
+                    except ServingError:
+                        # Timed-out (or already-broken) watchdog: the stuck
+                        # run may hold the plan lock forever — retire the
+                        # session and drop the artifact so the next request
+                        # recompiles.
+                        session.mark_broken("batch watchdog timeout")
+                        invalidate()
+                        raise
+            else:
+                def recover() -> None:
+                    # Order matters: a fresh ExecutionPlan first (the wedged
+                    # run may hold the old plan's lock forever), then a fresh
+                    # watchdog thread to run it on.
+                    session.recover()
+                    watchdog.reset()
+
+                dispatcher = ResilientDispatcher(
+                    execute, resilience, recover=recover, name=label)
+
+                def run_batch(stacked) -> Dict[str, np.ndarray]:
+                    try:
+                        return dispatcher(stacked)
+                    except BaseException:
+                        # Only a still-broken session/watchdog means the
+                        # artifact itself is unusable (recovery failed or the
+                        # last attempt wedged it); transient request errors
+                        # leave it cached and the breaker does the pacing.
+                        if watchdog.broken or session.broken:
+                            session.mark_broken(
+                                "batch dispatch exhausted its retry budget")
+                            invalidate()
+                        raise
+
+            run_once = execute
         else:
             pool = session.pool
 
@@ -484,16 +551,61 @@ class InferenceEngine:
                     result.optimized_model.graph.initializers,
                     backend="thread", timeout=self.config.timeout_s)
 
-            def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-                try:
+            if resilience is None:
+                def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                    try:
+                        return session.run(stacked, timeout=self.config.timeout_s)
+                    except BaseException:
+                        # A failed/timed-out run can leave workers wedged;
+                        # drop the artifact so the next request recompiles
+                        # instead of hitting a permanently broken pool.
+                        if pool.broken:
+                            invalidate()
+                        raise
+            else:
+                if resilience.fault_injector is not None:
+                    pool.set_fault_injector(resilience.fault_injector)
+                if resilience.supervise:
+                    supervisor = PoolSupervisor(
+                        pool, interval_s=resilience.heartbeat_interval_s,
+                        hang_timeout_s=resilience.hang_timeout_s,
+                        tracer=self.tracer).start()
+                degraded_cell = []
+
+                def primary(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
                     return session.run(stacked, timeout=self.config.timeout_s)
-                except BaseException:
-                    # A failed/timed-out run can leave workers wedged; drop
-                    # the artifact so the next request recompiles instead of
-                    # hitting a permanently broken pool.
-                    if pool.broken:
-                        invalidate()
-                    raise
+
+                def recover() -> None:
+                    session.recover()
+
+                def degraded(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                    # Graceful degradation: serve through an in-process
+                    # "plan" session over the same compiled result while the
+                    # breaker keeps traffic off the broken pool.  Built
+                    # lazily — fault-free serving never pays for it — and on
+                    # its own watchdog so a stuck degraded batch cannot pin
+                    # the micro-batcher either.
+                    if not degraded_cell:
+                        degraded_cell.append((
+                            create_session(result, executor="plan",
+                                           timeout_s=self.config.timeout_s),
+                            _BatchWatchdog(f"{label}/degraded")))
+                    fb_session, fb_watchdog = degraded_cell[0]
+                    return fb_watchdog.run(fb_session.run, stacked,
+                                           self.config.timeout_s)
+
+                dispatcher = ResilientDispatcher(
+                    primary, resilience, recover=recover,
+                    fallback=degraded if resilience.degrade else None,
+                    name=label)
+
+                def run_batch(stacked: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+                    try:
+                        return dispatcher(stacked)
+                    except BaseException:
+                        if pool.broken:
+                            invalidate()
+                        raise
 
         batchable = self._probe_batchable(run_once, key.input_signature)
         compile_time = time.perf_counter() - start
@@ -508,7 +620,10 @@ class InferenceEngine:
         artifact = CompiledArtifact(key=key, result=result, session=session,
                                     watchdog=watchdog, batcher=batcher,
                                     compile_time_s=compile_time,
-                                    batchable=batchable)
+                                    batchable=batchable,
+                                    dispatcher=dispatcher,
+                                    supervisor=supervisor,
+                                    degraded_cell=degraded_cell)
         artifact_cell.append(artifact)
         return artifact
 
@@ -600,9 +715,39 @@ class InferenceEngine:
                 gauge("serving_pool_restarts_total",
                       "Worker restarts of a cached artifact's pool",
                       labels=labels).set(pool_stats["restarts"])
+                gauge("serving_pool_respawns_total",
+                      "Single workers respawned in a cached artifact's pool",
+                      labels=labels).set(pool_stats["respawns"])
                 gauge("serving_pool_execute_seconds_total",
                       "Cumulative worker execute time of a cached artifact",
                       labels=labels).set(pool_stats["execute_ns_total"] / 1e9)
+            if artifact.dispatcher is not None:
+                dstats = artifact.dispatcher.stats()
+                gauge("serving_resilience_retries_total",
+                      "Batches re-dispatched after a primary failure",
+                      labels=labels).set(dstats["retries"])
+                gauge("serving_resilience_recoveries_total",
+                      "Session recoveries run between retry attempts",
+                      labels=labels).set(dstats["recoveries"])
+                gauge("serving_resilience_degraded_runs_total",
+                      "Batches served by the degraded plan fallback",
+                      labels=labels).set(dstats["degraded_runs"])
+                gauge("serving_resilience_breaker_opens_total",
+                      "Times the artifact's circuit breaker tripped",
+                      labels=labels).set(dstats["breaker"]["opens"])
+                gauge("serving_resilience_breaker_state",
+                      "Breaker state (0=closed, 1=half-open, 2=open)",
+                      labels=labels).set(
+                          {"closed": 0, "half-open": 1, "open": 2}.get(
+                              dstats["breaker"]["state"], -1))
+            if artifact.supervisor is not None:
+                sstats = artifact.supervisor.stats()
+                gauge("serving_supervisor_respawns_total",
+                      "Workers respawned by the artifact's supervisor",
+                      labels=labels).set(sstats["respawns"])
+                gauge("serving_supervisor_wedges_detected_total",
+                      "Wedged workers detected by the artifact's supervisor",
+                      labels=labels).set(sstats["wedges_detected"])
 
     # ------------------------------------------------------------------
     # Validation
