@@ -27,7 +27,12 @@ with every substrate it depends on:
 * :mod:`repro.resilience` — self-healing execution: pool worker
   supervision (dead/wedged detection, single-worker respawn),
   deterministic fault injection, retry policies, circuit breaking and
-  degraded serving.
+  degraded serving,
+* :mod:`repro.gateway` — the asyncio HTTP front door over the serving
+  engine (stdlib-only HTTP/1.1, bitwise-exact JSON tensor codec) plus
+  an open-loop multi-tenant load harness; multi-tenant QoS itself
+  (weighted fair admission, backpressure, deadlines, cache quotas)
+  lives in :mod:`repro.serving.qos`.
 
 Quickstart::
 
@@ -62,6 +67,11 @@ __all__ = [
     "RamielPipeline",
     "InferenceEngine",
     "EngineConfig",
+    "QoSConfig",
+    "TenantConfig",
+    "GatewayServer",
+    "GatewayThread",
+    "GatewayConfig",
     "Session",
     "IOBinding",
     "create_session",
@@ -91,10 +101,15 @@ def __getattr__(name):
         from repro import pipeline as _pipeline
 
         return getattr(_pipeline, name)
-    if name in ("InferenceEngine", "EngineConfig"):
+    if name in ("InferenceEngine", "EngineConfig", "QoSConfig",
+                "TenantConfig"):
         from repro import serving as _serving
 
         return getattr(_serving, name)
+    if name in ("GatewayServer", "GatewayThread", "GatewayConfig"):
+        from repro import gateway as _gateway
+
+        return getattr(_gateway, name)
     if name in ("Session", "IOBinding", "create_session",
                 "known_executors", "validate_executor"):
         from repro.runtime import session as _session

@@ -13,6 +13,9 @@ Usage examples::
     ramiel trace squeezenet --runs 20 -o trace.json   # Perfetto-loadable spans
     ramiel trace squeezenet --executor process        # merged multi-process trace
     ramiel bench-report bench_history/ --threshold 0.1   # perf-trajectory gate
+    ramiel serve squeezenet bert --port 8080          # HTTP gateway, foreground
+    ramiel load squeezenet googlenet --duration 5 --rate 30 \
+        --tenant gold=3 --tenant free=1               # open-loop load harness
 
 The CLI is a thin wrapper over :func:`repro.pipeline.ramiel_compile`; every
 capability is also available programmatically.
@@ -138,6 +141,60 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="print regressions but exit 0 (soft gate)")
     bench_p.add_argument("--json", action="store_true",
                          help="print the report as JSON")
+
+    def _add_qos_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME=WEIGHT[:QUOTA]",
+                       help="register a tenant with a scheduling weight and "
+                            "an optional artifact-cache quota (repeatable); "
+                            "e.g. --tenant gold=3 --tenant free=1:2")
+        p.add_argument("--max-queue-depth", type=int, default=256,
+                       help="global admission-queue bound (503 beyond it)")
+        p.add_argument("--tenant-queue", type=int, default=64,
+                       help="per-tenant admission-queue bound (429 beyond it)")
+        p.add_argument("--max-artifact-inflight", type=int, default=32,
+                       help="per-artifact cap on in-flight admitted requests")
+        p.add_argument("--deadline-s", type=float, default=None,
+                       help="default per-request deadline budget in seconds")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batcher max batch size (default 8)")
+        p.add_argument("--executor", default="plan", metavar="EXECUTOR",
+                       help="request executor from the session registry "
+                            "(plan | interp | pool | process)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace of the run here")
+
+    gw_serve = sub.add_parser(
+        "serve", help="serve zoo models over HTTP (asyncio gateway, foreground)")
+    gw_serve.add_argument("models", nargs="+",
+                          help="model names to serve (e.g. squeezenet bert)")
+    gw_serve.add_argument("--variant", default="small",
+                          choices=["default", "small"])
+    gw_serve.add_argument("--host", default="127.0.0.1")
+    gw_serve.add_argument("--port", type=int, default=8080,
+                          help="listen port (0 = ephemeral; default 8080)")
+    gw_serve.add_argument("--no-warmup", action="store_true",
+                          help="skip pre-compiling the served models")
+    _add_qos_args(gw_serve)
+
+    load_p = sub.add_parser(
+        "load",
+        help="boot a gateway, drive open-loop multi-tenant load at it and "
+             "print the per-tenant report (self-contained smoke/benchmark)")
+    load_p.add_argument("models", nargs="+",
+                        help="model names; tenants are assigned round-robin")
+    load_p.add_argument("--variant", default="small",
+                        choices=["default", "small"])
+    load_p.add_argument("--duration", type=float, default=5.0,
+                        help="offered-load window in seconds (default 5)")
+    load_p.add_argument("--rate", type=float, default=30.0,
+                        help="per-tenant Poisson arrival rate, rps (default 30)")
+    load_p.add_argument("--seed", type=int, default=0)
+    load_p.add_argument("--request-deadline-s", type=float, default=None,
+                        help="X-Deadline-S attached to every request")
+    load_p.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    _add_qos_args(load_p)
     return parser
 
 
@@ -418,6 +475,140 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     return 1
 
 
+def _parse_tenants(specs: List[str], tenant_queue: int,
+                   deadline_s: Optional[float]):
+    """``NAME=WEIGHT[:QUOTA]`` flags into TenantConfig objects."""
+    from repro.serving import TenantConfig
+
+    tenants = []
+    for spec in specs:
+        name, sep, rest = spec.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"malformed --tenant {spec!r}; expected NAME=WEIGHT[:QUOTA]")
+        weight_s, _, quota_s = rest.partition(":")
+        tenants.append(TenantConfig(
+            name=name, weight=float(weight_s),
+            max_queue=tenant_queue,
+            deadline_s=deadline_s,
+            cache_quota=int(quota_s) if quota_s else None))
+    return tuple(tenants)
+
+
+def _gateway_stack(args: argparse.Namespace):
+    """(engine, server, tracer, models) shared by the serve/load verbs."""
+    from repro.gateway import GatewayConfig, GatewayServer
+    from repro.observability import Tracer
+    from repro.serving import EngineConfig, InferenceEngine, QoSConfig
+
+    tenants = _parse_tenants(args.tenant, args.tenant_queue, args.deadline_s)
+    qos = QoSConfig(tenants=tenants,
+                    max_queue_depth=args.max_queue_depth,
+                    max_artifact_inflight=args.max_artifact_inflight)
+    tracer = Tracer() if args.trace_out else None
+    engine = InferenceEngine(EngineConfig(
+        max_batch_size=args.max_batch, executor=args.executor, qos=qos),
+        tracer=tracer)
+    models = {name: _load_model(name, args.variant) for name in args.models}
+    server = GatewayServer(engine, models, GatewayConfig(
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 0)))
+    return engine, server, tracer, models
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    engine, server, tracer, models = _gateway_stack(args)
+    if not args.no_warmup:
+        for name, model in models.items():
+            summary = engine.warmup(model)
+            print(f"warmed {name} in {summary['warmup_time_s']}s")
+
+    async def _serve() -> None:
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
+        print(f"ramiel gateway listening on "
+              f"http://{server.config.host}:{server.port}")
+        print(f"  models: {', '.join(sorted(models))}")
+        print("  POST /v1/models/{name}/infer | GET /healthz | GET /metrics")
+        await stop.wait()
+        print("draining ...")
+        completed = await server.shutdown()
+        print("drain complete" if completed else
+              "drain timed out with requests still in flight")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    finally:
+        engine.shutdown()
+        if tracer is not None and args.trace_out:
+            tracer.write_chrome_trace(args.trace_out, process_name="gateway")
+            print(f"trace      {args.trace_out}")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import GatewayThread, LoadSpec, run_load
+    from repro.gateway.codec import encode_request
+    from repro.serving import example_inputs
+
+    engine, server, tracer, models = _gateway_stack(args)
+    tenants = [t.name for t in engine.config.qos.tenants] or ["default"]
+    model_names = list(models)
+    specs = [
+        LoadSpec(tenant=tenant, model=model_names[i % len(model_names)],
+                 body=encode_request(
+                     example_inputs(models[model_names[i % len(model_names)]])),
+                 rate_rps=args.rate, deadline_s=args.request_deadline_s)
+        for i, tenant in enumerate(tenants)
+    ]
+    drained = False
+    try:
+        for model in models.values():
+            engine.warmup(model)
+        with GatewayThread(server) as gateway:
+            report = asyncio.run(run_load(
+                "127.0.0.1", gateway.port, specs,
+                duration_s=args.duration, seed=args.seed))
+            drained = gateway.stop()
+    finally:
+        engine.shutdown()
+        if tracer is not None and args.trace_out:
+            tracer.write_chrome_trace(args.trace_out, process_name="gateway")
+
+    if args.json:
+        print(json.dumps({
+            "duration_s": round(report.duration_s, 3),
+            "drained": drained,
+            "tenants": {name: rep.summary(report.duration_s)
+                        for name, rep in report.tenants.items()},
+        }, indent=2))
+    else:
+        print(report.render())
+        print(f"\nduration   {report.duration_s:.2f}s")
+        print(f"drained    {drained}")
+        if args.trace_out:
+            print(f"trace      {args.trace_out}")
+    # The gate: every request got an HTTP answer and shutdown was clean.
+    if report.total_dropped or not drained:
+        print("load: FAILED (dropped requests or dirty shutdown)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (exposed as the ``ramiel`` console script)."""
     args = _build_parser().parse_args(argv)
@@ -437,6 +628,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench-report":
         return _cmd_bench_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "load":
+        return _cmd_load(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,119 @@
+"""JSON tensor codec shared by the gateway server and its clients.
+
+Tensors travel as ``{"data": <flat list>, "shape": [...], "dtype": "..."}``.
+The encoding is *bitwise exact* for every dtype the zoo models use:
+float32 values pass through Python floats (every float32 is exactly
+representable as a double, ``repr`` of a double round-trips, and casting
+the recovered double back to float32 is exact), and integers are exact in
+JSON by construction.  That exactness is load-bearing — the gateway's
+acceptance bar is that responses bitwise-match direct
+:meth:`~repro.serving.engine.InferenceEngine.submit` results.
+
+Request body::
+
+    {"inputs": {"input": {"data": [...], "shape": [1, 3, 32, 32],
+                          "dtype": "float32"}}}
+
+Response body::
+
+    {"outputs": {"output": {"data": [...], "shape": [...], "dtype": "..."}}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CodecError",
+    "decode_array",
+    "decode_request",
+    "encode_array",
+    "encode_outputs",
+    "encode_request",
+]
+
+
+class CodecError(ValueError):
+    """A request/response body failed to parse as tensor JSON."""
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """One ndarray as its JSON-transportable dict form."""
+    array = np.asarray(array)
+    return {
+        "data": array.ravel().tolist(),
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+    }
+
+
+def decode_array(obj: Any, name: str = "") -> np.ndarray:
+    """The inverse of :func:`encode_array` (nested lists also accepted)."""
+    label = f"tensor {name!r}" if name else "tensor"
+    if isinstance(obj, dict):
+        try:
+            data, shape, dtype = obj["data"], obj["shape"], obj.get(
+                "dtype", "float32")
+        except KeyError as exc:
+            raise CodecError(f"{label}: missing field {exc}") from None
+        try:
+            array = np.asarray(data, dtype=np.dtype(dtype))
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"{label}: {exc}") from None
+        try:
+            return array.reshape(shape)
+        except ValueError:
+            raise CodecError(
+                f"{label}: {array.size} values do not fill shape "
+                f"{tuple(shape)}") from None
+    if isinstance(obj, list):
+        try:
+            return np.asarray(obj, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"{label}: {exc}") from None
+    raise CodecError(
+        f"{label}: expected a dict with data/shape/dtype or a nested list, "
+        f"got {type(obj).__name__}")
+
+
+def encode_request(inputs: Mapping[str, np.ndarray]) -> bytes:
+    """An infer-request body from a feed dict."""
+    return json.dumps(
+        {"inputs": {name: encode_array(array)
+                    for name, array in inputs.items()}}).encode()
+
+
+def decode_request(body: bytes) -> Dict[str, np.ndarray]:
+    """The feed dict from an infer-request body."""
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "inputs" not in payload:
+        raise CodecError('request body must be {"inputs": {name: tensor}}')
+    inputs = payload["inputs"]
+    if not isinstance(inputs, dict) or not inputs:
+        raise CodecError('"inputs" must be a non-empty object')
+    return {name: decode_array(obj, name) for name, obj in inputs.items()}
+
+
+def encode_outputs(outputs: Mapping[str, np.ndarray]) -> bytes:
+    """An infer-response body from the engine's output dict."""
+    return json.dumps(
+        {"outputs": {name: encode_array(array)
+                     for name, array in outputs.items()}}).encode()
+
+
+def decode_outputs(body: bytes) -> Dict[str, np.ndarray]:
+    """The output dict from an infer-response body (client side)."""
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"response body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "outputs" not in payload:
+        raise CodecError('response body must be {"outputs": {name: tensor}}')
+    return {name: decode_array(obj, name)
+            for name, obj in payload["outputs"].items()}

@@ -12,6 +12,11 @@ This subsystem amortizes that work across request traffic:
   size / max wait policy, batch-axis stacking and scattering).
 * :mod:`repro.serving.metrics` — throughput, latency percentiles,
   batch-size histogram and cache statistics.
+* :mod:`repro.serving.qos` — multi-tenant admission control: weighted
+  deadline-aware fair queueing, bounded-queue backpressure (429/503 +
+  Retry-After), per-artifact concurrency caps and per-tenant artifact
+  cache quotas.  The HTTP transport over all of this lives in
+  :mod:`repro.gateway`.
 
 See ``examples/serving_demo.py`` and the ``repro serve-bench`` /
 ``repro warmup`` CLI verbs.
@@ -38,8 +43,28 @@ from repro.serving.engine import (
     signature_inputs,
 )
 from repro.serving.metrics import ServingMetrics
+from repro.serving.qos import (
+    AdmissionQueue,
+    DeadlineExpired,
+    EngineOverloaded,
+    QoSConfig,
+    QoSError,
+    QoSFrontend,
+    TenantConfig,
+    TenantQueueFull,
+    UnknownTenant,
+)
 
 __all__ = [
+    "AdmissionQueue",
+    "DeadlineExpired",
+    "EngineOverloaded",
+    "QoSConfig",
+    "QoSError",
+    "QoSFrontend",
+    "TenantConfig",
+    "TenantQueueFull",
+    "UnknownTenant",
     "ArtifactCache",
     "ArtifactKey",
     "BATCH_AXIS",

@@ -10,6 +10,15 @@ Eviction is LRU over *completed* entries only (an in-flight compilation is
 never evicted; the cache may transiently exceed capacity while several keys
 compile at once).  Evicted artifacts are handed to the ``on_evict`` callback
 so their warm worker pools and batchers can be shut down.
+
+**Partitioning** — entries may carry a partition label (the serving QoS
+layer passes the tenant that caused the compile).  A ``quota_for``
+callback maps partitions to resident-entry quotas: when a partition
+exceeds its quota, its *own* least-recently-used completed entry is
+evicted, so one heavy tenant churning through models can never evict
+another tenant's warm artifacts — only global capacity overflow falls
+back to cross-partition LRU, and even then over-quota partitions are
+preferred victims.
 """
 
 from __future__ import annotations
@@ -38,25 +47,33 @@ class ArtifactCache:
     """Thread-safe LRU map of :class:`ArtifactKey` to compiled artifacts."""
 
     def __init__(self, capacity: int = 8,
-                 on_evict: Optional[Callable[[ArtifactKey, object], None]] = None) -> None:
+                 on_evict: Optional[Callable[[ArtifactKey, object], None]] = None,
+                 quota_for: Optional[Callable[[Optional[str]], Optional[int]]] = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._on_evict = on_evict
+        self._quota_for = quota_for
         self._lock = threading.Lock()
         self._entries: "collections.OrderedDict[ArtifactKey, Future]" = \
             collections.OrderedDict()
+        self._partitions: Dict[ArtifactKey, Optional[str]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     # ------------------------------------------------------------------
-    def get_or_create(self, key: ArtifactKey, factory: Callable[[], object]):
+    def get_or_create(self, key: ArtifactKey, factory: Callable[[], object],
+                      partition: Optional[str] = None):
         """Return ``(artifact, hit)``; compile via ``factory`` on a miss.
 
         The factory runs outside the cache lock, but at most once per key:
         concurrent callers of the same key wait on the winner's future.  A
         failing factory removes its entry so the key can be retried.
+
+        ``partition`` labels a newly created entry (a hit keeps the
+        original owner's label — artifacts are shared across tenants, the
+        partition only decides whose quota funds residency).
         """
         evicted: List[Tuple[ArtifactKey, Future]] = []
         with self._lock:
@@ -69,8 +86,9 @@ class ArtifactCache:
                 self._misses += 1
                 entry = Future()
                 self._entries[key] = entry
+                self._partitions[key] = partition
                 hit = False
-                evicted = self._evict_overflow_locked()
+                evicted = self._evict_overflow_locked(partition)
 
         for evicted_key, evicted_future in evicted:
             self._dispose(evicted_key, evicted_future)
@@ -84,20 +102,60 @@ class ArtifactCache:
             with self._lock:
                 if self._entries.get(key) is entry:
                     del self._entries[key]
+                    self._partitions.pop(key, None)
             entry.set_exception(exc)
             raise
         entry.set_result(artifact)
         return artifact, False
 
-    def _evict_overflow_locked(self) -> List[Tuple[ArtifactKey, Future]]:
-        """Pop oldest *completed* entries while over capacity (lock held)."""
+    def _partition_size_locked(self, partition: Optional[str]) -> int:
+        return sum(1 for part in self._partitions.values() if part == partition)
+
+    def _pop_victim_locked(self, partition: Optional[str] = ...,
+                           ) -> Optional[Tuple[ArtifactKey, Future]]:
+        """Pop the oldest completed entry, optionally within one partition."""
+        for key, future in self._entries.items():
+            if not future.done():
+                continue
+            if partition is not ... and self._partitions.get(key) != partition:
+                continue
+            self._entries.pop(key)
+            self._partitions.pop(key, None)
+            self._evictions += 1
+            return key, future
+        return None
+
+    def _evict_overflow_locked(self, new_partition: Optional[str] = None
+                               ) -> List[Tuple[ArtifactKey, Future]]:
+        """Pop oldest *completed* entries while over quota/capacity (lock held)."""
         evicted: List[Tuple[ArtifactKey, Future]] = []
+        # Per-partition quota first: the inserting tenant evicts its own
+        # LRU entry, never another partition's warm artifact.
+        if self._quota_for is not None and new_partition is not None:
+            quota = self._quota_for(new_partition)
+            while (quota is not None
+                   and self._partition_size_locked(new_partition) > quota):
+                victim = self._pop_victim_locked(new_partition)
+                if victim is None:
+                    break  # partition entries all in flight; transient overflow
+                evicted.append(victim)
+        # Global capacity: prefer evicting from over-quota partitions so a
+        # quota-less tenant's churn still cannot displace protected ones.
         while len(self._entries) > self.capacity:
-            victim = next((k for k, fut in self._entries.items() if fut.done()), None)
+            victim = None
+            if self._quota_for is not None:
+                for part in set(self._partitions.values()):
+                    quota = self._quota_for(part) if part is not None else None
+                    if (quota is not None
+                            and self._partition_size_locked(part) > quota):
+                        victim = self._pop_victim_locked(part)
+                        if victim is not None:
+                            break
+            if victim is None:
+                victim = self._pop_victim_locked()
             if victim is None:
                 break  # everything in flight; allow transient overflow
-            evicted.append((victim, self._entries.pop(victim)))
-            self._evictions += 1
+            evicted.append(victim)
         return evicted
 
     def _dispose(self, key: ArtifactKey, future: Future) -> None:
@@ -134,6 +192,7 @@ class ArtifactCache:
                                          or future.result() is not expected):
                 return False
             del self._entries[key]
+            self._partitions.pop(key, None)
             self._evictions += 1
         self._dispose_when_done(key, future)
         return True
@@ -143,6 +202,7 @@ class ArtifactCache:
         with self._lock:
             entries = list(self._entries.items())
             self._entries.clear()
+            self._partitions.clear()
         for key, future in entries:
             self._dispose_when_done(key, future)
 
@@ -169,6 +229,14 @@ class ArtifactCache:
             futures = list(self._entries.values())
         return [future.result() for future in futures
                 if future.done() and future.exception() is None]
+
+    def partition_sizes(self) -> Dict[Optional[str], int]:
+        """Resident-entry counts per partition label."""
+        with self._lock:
+            sizes: Dict[Optional[str], int] = {}
+            for part in self._partitions.values():
+                sizes[part] = sizes.get(part, 0) + 1
+            return sizes
 
     def stats(self) -> Dict[str, int]:
         """Lookup/eviction counters."""

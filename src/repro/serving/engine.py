@@ -70,6 +70,7 @@ from repro.serving.batching import (
     stack_requests,
 )
 from repro.serving.metrics import ServingMetrics
+from repro.serving.qos import QoSConfig, QoSFrontend
 
 
 class ShapeMismatchError(ServingError):
@@ -99,6 +100,13 @@ class EngineConfig:
     #: run batches on a watchdog thread so a stuck batch cannot pin the
     #: micro-batcher forever)
     timeout_s: float = 300.0
+    #: multi-tenant QoS (:class:`repro.serving.qos.QoSConfig`): weighted
+    #: deadline-aware admission in front of the micro-batchers, bounded-
+    #: queue backpressure, per-artifact concurrency caps and per-tenant
+    #: artifact-cache quotas.  ``None`` (the default) keeps the legacy
+    #: direct submit path bit-for-bit (``tenant=``/``deadline_s=`` are
+    #: then ignored).
+    qos: Optional[QoSConfig] = None
     #: self-healing policy stack (:class:`repro.resilience.ResilienceConfig`):
     #: worker supervision, batch retry with session recovery, artifact-level
     #: circuit breaking and degraded fallback onto the in-process "plan"
@@ -326,36 +334,98 @@ class InferenceEngine:
         self.metrics = ServingMetrics(registry=registry)
         registry.register_collector(self._collect_artifact_metrics)
         self._config_fp = config_fingerprint(self.config.pipeline)
+        qos = self.config.qos
         self._cache = ArtifactCache(
             capacity=self.config.cache_capacity,
-            on_evict=self._on_evict)
+            on_evict=self._on_evict,
+            quota_for=qos.cache_quota_for if qos is not None else None)
         self._closed = False
+        # The QoS frontend (weighted admission queue + dispatcher thread)
+        # sits in front of _route; without a QoS config the legacy direct
+        # submit path is untouched.
+        self.qos: Optional[QoSFrontend] = (
+            QoSFrontend(self, qos) if qos is not None else None)
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, model: Model, inputs: Mapping[str, np.ndarray]) -> Future:
+    def submit(self, model: Model,
+               inputs: Optional[Mapping[str, np.ndarray]] = None, *,
+               tenant: Optional[str] = None,
+               deadline_s: Optional[float] = None,
+               binding: Optional[IOBinding] = None) -> Future:
         """Enqueue one inference request; returns a future of its outputs.
 
         The request is validated against the model's declared input
         signature (:class:`ShapeMismatchError` on mismatch), routed to the
         compiled artifact for its signature (compiling it on first sight),
         and micro-batched with concurrent compatible requests.
+
+        With :attr:`EngineConfig.qos` configured, the request first passes
+        admission control: ``tenant`` selects the weight/queue/deadline
+        contract (the default tenant otherwise) and ``deadline_s``
+        overrides the tenant's per-request deadline budget.  Rejections
+        (queue full, overload, expired budget) raise
+        :class:`~repro.serving.qos.QoSError` subclasses *synchronously*.
+        Without QoS the two parameters are ignored.
+
+        ``binding`` threads a client-supplied
+        :class:`~repro.runtime.session.IOBinding` (from :meth:`bind`)
+        through the request: inputs are read from the binding's pinned
+        staging buffers when ``inputs`` is ``None``, and outputs are
+        written into the binding's bound output buffers — the resolved
+        dict's arrays *are* those buffers, so a warm request→response
+        loop allocates nothing.  One request per binding may be in
+        flight at a time.
         """
         if self._closed:
             raise ServingError("engine is shut down")
+        if inputs is None:
+            if binding is None:
+                raise ValueError("submit() needs inputs= or binding=")
+            inputs = binding.inputs
         tracer = self.tracer
         if tracer is not None:
             with tracer.span("request.submit", cat="serving",
                              args={"model": model.name}):
-                arrays, batch_len, signature = self._validate(model, inputs)
-                self.metrics.record_submitted()
-                future, _ = self._route(model, signature, arrays, batch_len)
-                return future
+                return self._submit(model, inputs, tenant, deadline_s, binding)
+        return self._submit(model, inputs, tenant, deadline_s, binding)
+
+    def _submit(self, model, inputs, tenant, deadline_s, binding) -> Future:
         arrays, batch_len, signature = self._validate(model, inputs)
         self.metrics.record_submitted()
-        future, _ = self._route(model, signature, arrays, batch_len)
+        if self.qos is not None:
+            future = self.qos.submit(model, arrays, batch_len, signature,
+                                     tenant=tenant, deadline_s=deadline_s)
+        else:
+            future, _ = self._route(model, signature, arrays, batch_len)
+        if binding is not None:
+            future = self._finalize_binding(future, binding)
         return future
+
+    def _route_once(self, model: Model, signature: Tuple,
+                    arrays: Dict[str, np.ndarray], batch_len: int,
+                    partition: Optional[str] = None):
+        """Resolve the artifact and enqueue exactly once.
+
+        Raises :class:`BatcherClosed` (after invalidating the stale cache
+        entry) when the artifact died between lookup and enqueue; callers
+        decide the retry discipline — :meth:`_route` loops a fixed three
+        times, the QoS dispatcher applies its configured
+        :class:`~repro.resilience.RetryPolicy` with the request's
+        remaining deadline budget.
+        """
+        artifact = self._artifact_for(model, signature, partition=partition)
+        if not artifact.batchable and batch_len > 1:
+            raise ServingError(
+                f"model {model.name!r} was compiled non-batch-fusable (its "
+                "generated code bakes in the batch size); requests must "
+                f"carry a single sample, got batch length {batch_len}")
+        try:
+            return artifact.batcher.submit(arrays, batch_len), artifact
+        except BatcherClosed:
+            self._cache.invalidate(artifact.key, expected=artifact)
+            raise
 
     def _route(self, model: Model, signature: Tuple,
                arrays: Dict[str, np.ndarray], batch_len: int):
@@ -371,21 +441,82 @@ class InferenceEngine:
         """
         last_exc: Optional[BaseException] = None
         for _ in range(3):
-            artifact = self._artifact_for(model, signature)
-            if not artifact.batchable and batch_len > 1:
-                raise ServingError(
-                    f"model {model.name!r} was compiled non-batch-fusable (its "
-                    "generated code bakes in the batch size); requests must "
-                    f"carry a single sample, got batch length {batch_len}")
             try:
-                return artifact.batcher.submit(arrays, batch_len), artifact
+                return self._route_once(model, signature, arrays, batch_len)
             except BatcherClosed as exc:
                 last_exc = exc
-                self._cache.invalidate(artifact.key, expected=artifact)
         raise ServingError(
             f"could not route request for model {model.name!r}: artifact kept "
             "closing under the request (severe cache-capacity pressure?)"
         ) from last_exc
+
+    # ------------------------------------------------------------------
+    # Binding-aware responses
+    # ------------------------------------------------------------------
+    def bind(self, model: Model,
+             inputs: Mapping[str, np.ndarray]) -> IOBinding:
+        """An :class:`IOBinding` pinned to the artifact serving ``inputs``.
+
+        Resolves (compiling on first sight) the artifact for the request
+        signature and returns a fresh binding whose input buffers are
+        *owned copies* of ``inputs`` — refill them in place between
+        requests, then ``submit(model, binding=...)``.  Bind output
+        buffers (``binding.bind_output``) to make the response side
+        allocation-free too: each completed request copies its outputs
+        into the bound buffers instead of handing out fresh arrays.
+        """
+        if self._closed:
+            raise ServingError("engine is shut down")
+        arrays, _, signature = self._validate(model, inputs)
+        artifact = self._artifact_for(model, signature)
+        binding = artifact.session.bind()
+        for name, array in arrays.items():
+            binding.bind_input(name, np.array(array))
+        return binding
+
+    def _finalize_binding(self, inner: Future, binding: IOBinding) -> Future:
+        """Chain a future that lands outputs in the binding's buffers.
+
+        Runs in the completing thread (the batch collector), before the
+        next batch executes — so copying out of the scattered views is
+        race-free.  Bound buffers are written with ``np.copyto`` (no
+        allocation); ``bind_output(name)`` placeholders materialize a
+        private reused buffer on first completion; unbound outputs pass
+        through unchanged.
+        """
+        outer: Future = Future()
+
+        def _done(f: Future) -> None:
+            exc = f.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            try:
+                outputs = dict(f.result())
+                for name, bound in binding._outputs.items():
+                    if name not in outputs:
+                        continue
+                    array = np.asarray(outputs[name])
+                    if bound is None:
+                        # lazily-bound: adopt a private copy as the
+                        # reused destination for every later request
+                        bound = np.array(array)
+                        binding._outputs[name] = bound
+                    else:
+                        if bound.shape != array.shape or bound.dtype != array.dtype:
+                            raise ServingError(
+                                f"bound output {name!r}: destination has "
+                                f"shape {bound.shape} dtype {bound.dtype}, "
+                                f"but the request produced shape "
+                                f"{array.shape} dtype {array.dtype}")
+                        np.copyto(bound, array)
+                    outputs[name] = bound
+                outer.set_result(outputs)
+            except BaseException as finalize_exc:  # noqa: BLE001
+                outer.set_exception(finalize_exc)
+
+        inner.add_done_callback(_done)
+        return outer
 
     def infer(self, model: Model, inputs: Mapping[str, np.ndarray],
               timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
@@ -418,9 +549,25 @@ class InferenceEngine:
             "compiles": self.metrics.snapshot()["cache"]["compiles"],
         }
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for queued + in-flight QoS requests to finish; True if empty.
+
+        Without a QoS frontend there is no admission queue to drain and
+        this returns immediately (in-flight micro-batches still complete
+        through their futures).  New submissions during a drain are
+        rejected with :class:`~repro.serving.qos.EngineOverloaded`.
+        """
+        if self.qos is None:
+            return True
+        return self.qos.drain(timeout=timeout)
+
     def shutdown(self) -> None:
         """Close every cached artifact's batcher and worker pool."""
         self._closed = True
+        # QoS first: stop admitting and fail queued requests before their
+        # target batchers disappear underneath them.
+        if self.qos is not None:
+            self.qos.close()
         self._cache.clear()
 
     def __enter__(self) -> "InferenceEngine":
@@ -436,10 +583,11 @@ class InferenceEngine:
         """The artifact cache's size/hit/miss/eviction counters."""
         return self._cache.stats()
 
-    def _artifact_for(self, model: Model, signature: Tuple) -> CompiledArtifact:
+    def _artifact_for(self, model: Model, signature: Tuple,
+                      partition: Optional[str] = None) -> CompiledArtifact:
         key = ArtifactKey(model_fingerprint(model), self._config_fp, signature)
         artifact, hit = self._cache.get_or_create(
-            key, lambda: self._compile(model, key))
+            key, lambda: self._compile(model, key), partition=partition)
         if self._closed:
             # shutdown raced this lookup/compile: make sure the artifact is
             # not left running (clear() may have missed the in-flight entry)

@@ -1,0 +1,731 @@
+"""Multi-tenant quality of service for the serving engine.
+
+The :class:`~repro.serving.engine.InferenceEngine` alone treats every
+request identically: first come, first batched.  That is fine for one
+well-behaved client, but the moment many tenants share one engine (the
+gateway's whole purpose) a single heavy tenant can monopolize the
+micro-batchers, flood the queues and evict everyone else's warm
+artifacts.  This module adds the admission-control layer that makes
+many models x many clients safe:
+
+* **Tenant configuration** — :class:`TenantConfig` gives every tenant a
+  scheduling *weight*, a bounded admission queue, an optional default
+  per-request *deadline budget* and an optional *cache quota* (how many
+  compiled artifacts it may keep resident; see the partition support in
+  :class:`~repro.serving.artifact_cache.ArtifactCache`).
+* **Weighted, deadline-aware admission** — :class:`AdmissionQueue`
+  implements start-time fair queueing: each admitted request is stamped
+  with a virtual finish time ``max(V, last_finish[tenant]) +
+  cost/weight`` and dispatch always picks the eligible request with the
+  smallest stamp, so over any busy interval tenants receive service in
+  proportion to their weights regardless of arrival order.  Requests
+  whose deadline has already passed are failed at dispatch instead of
+  wasting service on answers nobody is waiting for.
+* **Backpressure** — both the per-tenant queues and the global queue are
+  bounded.  An overflowing submit fails *synchronously* with
+  :class:`TenantQueueFull` (HTTP 429) or :class:`EngineOverloaded`
+  (HTTP 503), each carrying a ``retry_after_s`` hint derived from the
+  observed dispatch rate, so the gateway can emit honest ``Retry-After``
+  headers instead of letting latency grow without bound.
+* **Per-artifact concurrency caps** — at most
+  ``max_artifact_inflight`` admitted requests may be in flight inside
+  any one compiled artifact's micro-batcher, so a burst against a slow
+  model queues in the *admission* layer (where fairness and deadlines
+  apply) rather than deep inside an unaccountable batcher.
+* **Retry integration** — dispatch re-routes around a concurrently
+  invalidated artifact under the PR 8
+  :class:`~repro.resilience.RetryPolicy`, with the request's remaining
+  deadline budget installed as the policy's ``deadline_s`` so retries
+  never outlive the request they serve.
+
+:class:`QoSFrontend` ties it together for the engine: ``submit`` admits
+(or rejects) a validated request, a dispatcher thread drains the
+admission queue in weighted order into the engine's artifact batchers,
+and everything is observable through ``qos_*`` metrics and
+``qos.admit`` / ``qos.queue`` spans in the engine's tracer.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience import RetryPolicy
+from repro.serving.batching import BatcherClosed, ServingError
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineExpired",
+    "EngineOverloaded",
+    "QoSConfig",
+    "QoSError",
+    "QoSFrontend",
+    "TenantConfig",
+    "TenantQueueFull",
+    "UnknownTenant",
+]
+
+
+class QoSError(ServingError):
+    """Base class for admission-control failures.
+
+    ``http_status`` is the response code a gateway should map the error
+    to; ``retry_after_s``, when set, becomes the ``Retry-After`` header.
+    """
+
+    http_status = 503
+    retry_after_s: Optional[float] = None
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
+
+
+class TenantQueueFull(QoSError):
+    """The tenant's own admission queue is at capacity (HTTP 429)."""
+
+    http_status = 429
+
+
+class EngineOverloaded(QoSError):
+    """The engine-wide queue is full, or the engine is draining (HTTP 503)."""
+
+    http_status = 503
+
+
+class DeadlineExpired(QoSError):
+    """The request's deadline budget ran out before dispatch (HTTP 504)."""
+
+    http_status = 504
+    retry_after_s = None
+
+
+class UnknownTenant(QoSError):
+    """Strict-tenancy mode rejected an unregistered tenant (HTTP 403)."""
+
+    http_status = 403
+    retry_after_s = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's service contract.
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier (matched against the request's tenant field /
+        ``X-Tenant`` header).
+    weight:
+        Scheduling weight: over any busy interval a tenant receives
+        service proportional to ``weight / sum(weights of backlogged
+        tenants)``.
+    max_queue:
+        Bound on this tenant's admission queue; the overflowing request
+        is rejected with :class:`TenantQueueFull` (HTTP 429) while every
+        already-queued request keeps its slot.
+    deadline_s:
+        Default per-request deadline budget, measured from admission.
+        ``None`` means no deadline unless the request carries one.
+    cache_quota:
+        Maximum compiled artifacts this tenant may keep resident in the
+        engine's artifact cache.  When the tenant compiles one more, its
+        *own* least-recently-used artifact is evicted — other tenants'
+        warm artifacts are never the victim.  ``None`` leaves the tenant
+        under the global LRU policy only.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_queue: int = 64
+    deadline_s: Optional[float] = None
+    cache_quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.max_queue < 1:
+            raise ValueError(f"tenant {self.name!r}: max_queue must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"tenant {self.name!r}: deadline_s must be > 0")
+        if self.cache_quota is not None and self.cache_quota < 1:
+            raise ValueError(f"tenant {self.name!r}: cache_quota must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class QoSConfig:
+    """Engine-wide admission-control policy.
+
+    Parameters
+    ----------
+    tenants:
+        Pre-registered tenant contracts.  Unknown tenants are admitted
+        under ``default_tenant``'s weight/queue/deadline (auto-registered
+        on first sight) unless ``strict_tenants`` is set.
+    default_tenant:
+        Template for requests that name no tenant (or an unregistered
+        one); its ``name`` is the tenant id unnamed requests are
+        accounted under.
+    max_queue_depth:
+        Global bound across every tenant queue; overflow rejects with
+        :class:`EngineOverloaded` (HTTP 503).
+    max_artifact_inflight:
+        Per-compiled-artifact cap on admitted-but-unfinished requests.
+    dispatch_retry:
+        :class:`~repro.resilience.RetryPolicy` for routing a dispatched
+        request around a concurrently invalidated artifact
+        (:class:`~repro.serving.batching.BatcherClosed`).  A request
+        with a deadline gets the *remaining* budget installed as the
+        policy's ``deadline_s``.
+    strict_tenants:
+        Reject requests from unregistered tenants with
+        :class:`UnknownTenant` instead of admitting them under the
+        default contract.
+    """
+
+    tenants: Tuple[TenantConfig, ...] = ()
+    default_tenant: TenantConfig = TenantConfig("default")
+    max_queue_depth: int = 256
+    max_artifact_inflight: int = 32
+    dispatch_retry: RetryPolicy = RetryPolicy(
+        max_attempts=3, backoff_base_s=0.001, backoff_max_s=0.05,
+        jitter=0.0, retry_on=(BatcherClosed,))
+    strict_tenants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_artifact_inflight < 1:
+            raise ValueError("max_artifact_inflight must be >= 1")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in QoS config: {names}")
+
+    def tenant_config(self, name: Optional[str]) -> TenantConfig:
+        """The contract for ``name`` (the default template when unknown)."""
+        if name is None:
+            return self.default_tenant
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        if self.strict_tenants:
+            raise UnknownTenant(
+                f"unknown tenant {name!r}; registered tenants: "
+                f"{sorted(t.name for t in self.tenants)}")
+        return dataclasses.replace(self.default_tenant, name=name)
+
+    def cache_quota_for(self, name: Optional[str]) -> Optional[int]:
+        """Cache-partition quota for a tenant (None = global LRU only)."""
+        try:
+            return self.tenant_config(name).cache_quota
+        except UnknownTenant:
+            return None
+
+
+@dataclasses.dataclass
+class _QoSRequest:
+    """One admitted request inside the QoS layer."""
+
+    tenant: str
+    model: object
+    arrays: Dict[str, np.ndarray]
+    batch_len: int
+    signature: Tuple
+    future: Future
+    #: absolute deadline on the ``clock`` timeline (None = no budget)
+    deadline: Optional[float]
+    enqueue_t: float
+    #: start-time-fair-queueing stamps (assigned by the admission queue)
+    vstart: float = 0.0
+    vfinish: float = 0.0
+    #: tracing state (populated only when the frontend has a tracer)
+    submit_ns: int = 0
+    span_id: int = 0
+
+
+class _TenantState:
+    """A tenant's FIFO queue plus its fair-queueing bookkeeping."""
+
+    __slots__ = ("config", "queue", "last_vfinish", "admitted", "rejected",
+                 "expired", "completed", "failed")
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.queue: "collections.deque[_QoSRequest]" = collections.deque()
+        self.last_vfinish = 0.0
+        self.admitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self.completed = 0
+        self.failed = 0
+
+
+class AdmissionQueue:
+    """Weighted fair admission queue (start-time fair queueing).
+
+    Each tenant owns a bounded FIFO; across tenants, dispatch order is
+    by virtual finish time ``vf = max(V, last_finish[tenant]) +
+    cost/weight`` where ``V`` is the queue's virtual clock (the
+    ``vstart`` of the last dispatched request) and ``cost`` is the
+    request's batch length.  Weighted shares therefore hold over any
+    interval in which tenants stay backlogged, while an idle tenant's
+    stamp catches up to ``V`` on its next arrival instead of letting it
+    bank unused service.
+
+    Not thread-safe by itself: :class:`QoSFrontend` serializes access
+    under its own condition variable.  Kept separate so the scheduling
+    discipline is unit-testable without an engine.
+    """
+
+    def __init__(self, config: QoSConfig) -> None:
+        self._config = config
+        self._tenants: Dict[str, _TenantState] = {}
+        for tenant in config.tenants:
+            self._tenants[tenant.name] = _TenantState(tenant)
+        self._vtime = 0.0
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def tenant_state(self, name: str) -> _TenantState:
+        """The (auto-registered) state for tenant ``name``."""
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(self._config.tenant_config(name))
+            self._tenants[name] = state
+        return state
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued across every tenant."""
+        return self._depth
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Per-tenant queued-request counts."""
+        return {name: len(state.queue)
+                for name, state in self._tenants.items()}
+
+    # ------------------------------------------------------------------
+    def push(self, request: _QoSRequest) -> None:
+        """Admit one request, stamping its virtual start/finish times.
+
+        Raises :class:`TenantQueueFull` / :class:`EngineOverloaded` when
+        the tenant or global bound is hit — the *new* request is the one
+        rejected; queued requests always keep their slots.
+        """
+        state = self.tenant_state(request.tenant)
+        if self._depth >= self._config.max_queue_depth:
+            raise EngineOverloaded(
+                f"admission queue is full ({self._depth} queued, global "
+                f"bound {self._config.max_queue_depth})")
+        if len(state.queue) >= state.config.max_queue:
+            raise TenantQueueFull(
+                f"tenant {request.tenant!r} has {len(state.queue)} queued "
+                f"requests (bound {state.config.max_queue})")
+        cost = max(float(request.batch_len), 1.0)
+        request.vstart = max(self._vtime, state.last_vfinish)
+        request.vfinish = request.vstart + cost / state.config.weight
+        state.last_vfinish = request.vfinish
+        state.queue.append(request)
+        state.admitted += 1
+        self._depth += 1
+
+    def pop(self, eligible: Optional[Callable[[_QoSRequest], bool]] = None
+            ) -> Optional[_QoSRequest]:
+        """Dispatch the eligible request with the smallest finish stamp.
+
+        ``eligible`` lets the caller skip requests whose target artifact
+        is at its concurrency cap.  Ineligible requests do *not* block
+        the rest of their tenant's queue: the scan takes each tenant's
+        first eligible entry (within a tenant stamps are monotone, so
+        that entry carries the tenant's smallest stamp — per-artifact
+        FIFO is preserved, while requests for other artifacts may
+        overtake a capped one).  Returns ``None`` when nothing is
+        eligible.
+        """
+        best: Optional[_QoSRequest] = None
+        best_state: Optional[_TenantState] = None
+        best_idx = -1
+        for state in self._tenants.values():
+            for idx, head in enumerate(state.queue):
+                if eligible is not None and not eligible(head):
+                    continue
+                if best is None or head.vfinish < best.vfinish:
+                    best = head
+                    best_state = state
+                    best_idx = idx
+                break  # first eligible = this tenant's smallest stamp
+        if best is None or best_state is None:
+            return None
+        del best_state.queue[best_idx]
+        self._depth -= 1
+        self._vtime = max(self._vtime, best.vstart)
+        return best
+
+    def drain_all(self) -> List[_QoSRequest]:
+        """Remove and return every queued request (engine shutdown)."""
+        drained: List[_QoSRequest] = []
+        for state in self._tenants.values():
+            drained.extend(state.queue)
+            state.queue.clear()
+        self._depth = 0
+        return drained
+
+
+class QoSFrontend:
+    """The engine-side owner of admission control and weighted dispatch.
+
+    ``submit`` performs synchronous admission (reject fast, queue
+    cheap); a daemon dispatcher thread pops requests in weighted order,
+    enforces deadlines and per-artifact concurrency caps, and forwards
+    into the engine's micro-batchers.  The engine calls :meth:`drain`
+    and :meth:`close` from its own shutdown path.
+    """
+
+    #: fallback Retry-After hint before any dispatch-rate estimate exists
+    _DEFAULT_RETRY_AFTER_S = 0.1
+
+    def __init__(self, engine, config: QoSConfig, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._engine = engine
+        self.config = config
+        self._clock = clock
+        self._queue = AdmissionQueue(config)
+        self._cond = threading.Condition()
+        self._inflight: Dict[object, int] = collections.Counter()
+        self._inflight_total = 0
+        self._draining = False
+        self._closed = False
+        #: EWMA of inter-dispatch intervals, feeding Retry-After hints
+        self._dispatch_interval_ewma: Optional[float] = None
+        self._last_dispatch_t: Optional[float] = None
+        self._instruments(engine.registry)
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        daemon=True, name="qos-dispatch")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _instruments(self, registry) -> None:
+        self._registry = registry
+        self._admitted_counters: Dict[str, object] = {}
+        self._rejected_counters: Dict[Tuple[str, str], object] = {}
+        self._completed_counters: Dict[Tuple[str, str], object] = {}
+        self._queue_wait_hist = registry.histogram(
+            "qos_queue_wait_seconds",
+            "Admission-to-dispatch wait of admitted requests")
+        registry.register_collector(self._collect)
+
+    def _collect(self, registry) -> None:
+        with self._cond:
+            depths = self._queue.tenant_depths()
+            inflight = self._inflight_total
+        for tenant, depth in depths.items():
+            registry.gauge("qos_queue_depth",
+                           "Requests waiting in a tenant's admission queue",
+                           labels={"tenant": tenant}).set(depth)
+        registry.gauge("qos_inflight_requests",
+                       "Admitted requests currently inside micro-batchers"
+                       ).set(inflight)
+        registry.gauge("qos_draining",
+                       "1 while the engine is draining (rejecting new work)"
+                       ).set(1 if self._draining else 0)
+
+    def _count_admitted(self, tenant: str) -> None:
+        counter = self._admitted_counters.get(tenant)
+        if counter is None:
+            counter = self._registry.counter(
+                "qos_admitted_total", "Requests admitted past QoS",
+                labels={"tenant": tenant})
+            self._admitted_counters[tenant] = counter
+        counter.inc()
+
+    def _count_rejected(self, tenant: str, reason: str) -> None:
+        key = (tenant, reason)
+        counter = self._rejected_counters.get(key)
+        if counter is None:
+            counter = self._registry.counter(
+                "qos_rejected_total",
+                "Requests rejected by QoS, by tenant and reason",
+                labels={"tenant": tenant, "reason": reason})
+            self._rejected_counters[key] = counter
+        counter.inc()
+
+    def _count_done(self, tenant: str, outcome: str) -> None:
+        key = (tenant, outcome)
+        counter = self._completed_counters.get(key)
+        if counter is None:
+            counter = self._registry.counter(
+                "qos_requests_done_total",
+                "Admitted requests resolved, by tenant and outcome",
+                labels={"tenant": tenant, "outcome": outcome})
+            self._completed_counters[key] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, model, arrays: Dict[str, np.ndarray], batch_len: int,
+               signature: Tuple, *, tenant: Optional[str] = None,
+               deadline_s: Optional[float] = None) -> Future:
+        """Admit one validated request; returns its future or rejects.
+
+        Rejections (queue full, overloaded, expired budget, unknown
+        tenant under strict tenancy) raise synchronously — nothing of a
+        rejected request ever reaches a queue.
+        """
+        tracer = self._engine.tracer
+        t0 = tracer.now() if tracer is not None else 0
+        try:
+            request = self._admit(model, arrays, batch_len, signature,
+                                  tenant=tenant, deadline_s=deadline_s)
+        except QoSError as exc:
+            if tracer is not None:
+                tracer.emit("qos.admit", "qos", t0, tracer.now(),
+                            args={"tenant": tenant or "", "rejected":
+                                  type(exc).__name__})
+            raise
+        if tracer is not None:
+            request.submit_ns = t0
+            request.span_id = tracer.next_async_id()
+            tracer.emit("qos.admit", "qos", t0, tracer.now(),
+                        args={"tenant": request.tenant})
+        return request.future
+
+    def _admit(self, model, arrays, batch_len, signature, *,
+               tenant: Optional[str], deadline_s: Optional[float]
+               ) -> _QoSRequest:
+        config = self.config.tenant_config(tenant)  # raises UnknownTenant
+        name = tenant if tenant is not None else config.name
+        budget = deadline_s if deadline_s is not None else config.deadline_s
+        now = self._clock()
+        if budget is not None and budget <= 0:
+            self._count_rejected(name, "expired")
+            with self._cond:
+                self._queue.tenant_state(name).expired += 1
+            raise DeadlineExpired(
+                f"request for tenant {name!r} arrived with an already-"
+                f"expired deadline budget ({budget}s)")
+        request = _QoSRequest(
+            tenant=name, model=model, arrays=arrays, batch_len=batch_len,
+            signature=signature, future=Future(),
+            deadline=(now + budget) if budget is not None else None,
+            enqueue_t=now)
+        with self._cond:
+            if self._draining or self._closed:
+                self._count_rejected(name, "draining")
+                raise EngineOverloaded(
+                    "engine is draining; not accepting new requests",
+                    retry_after_s=self._retry_after_locked())
+            try:
+                self._queue.push(request)
+            except TenantQueueFull as exc:
+                self._queue.tenant_state(name).rejected += 1
+                self._count_rejected(name, "queue_full")
+                exc.retry_after_s = self._retry_after_locked(
+                    depth=len(self._queue.tenant_state(name).queue))
+                raise
+            except EngineOverloaded as exc:
+                self._queue.tenant_state(name).rejected += 1
+                self._count_rejected(name, "overloaded")
+                exc.retry_after_s = self._retry_after_locked(
+                    depth=self._queue.depth)
+                raise
+            self._cond.notify_all()
+        self._count_admitted(name)
+        return request
+
+    def _retry_after_locked(self, depth: int = 1) -> float:
+        """Honest Retry-After hint: queued work over observed dispatch rate."""
+        interval = self._dispatch_interval_ewma
+        if interval is None:
+            return self._DEFAULT_RETRY_AFTER_S
+        return round(max(self._DEFAULT_RETRY_AFTER_S,
+                         min(depth * interval, 30.0)), 3)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _eligible(self, request: _QoSRequest) -> bool:
+        key = (id(request.model), request.signature)
+        return self._inflight[key] < self.config.max_artifact_inflight
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                request = self._queue.pop(self._eligible)
+                while request is None:
+                    if self._closed:
+                        return
+                    self._cond.wait(timeout=0.1)
+                    request = self._queue.pop(self._eligible)
+                now = self._clock()
+                if self._last_dispatch_t is not None:
+                    sample = now - self._last_dispatch_t
+                    ewma = self._dispatch_interval_ewma
+                    self._dispatch_interval_ewma = (
+                        sample if ewma is None else 0.8 * ewma + 0.2 * sample)
+                self._last_dispatch_t = now
+            self._dispatch_one(request, now)
+
+    def _dispatch_one(self, request: _QoSRequest, now: float) -> None:
+        tracer = self._engine.tracer
+        if tracer is not None and request.span_id:
+            tracer.emit_async("qos.queue", "qos", request.span_id,
+                              request.submit_ns, tracer.now(),
+                              args={"tenant": request.tenant})
+        self._queue_wait_hist.observe(now - request.enqueue_t)
+        state = self._queue.tenant_state(request.tenant)
+        if request.deadline is not None and now >= request.deadline:
+            with self._cond:
+                state.expired += 1
+                self._cond.notify_all()
+            self._count_rejected(request.tenant, "expired")
+            request.future.set_exception(DeadlineExpired(
+                f"deadline budget ran out after "
+                f"{now - request.enqueue_t:.3f}s in the admission queue "
+                f"(tenant {request.tenant!r})"))
+            return
+        key = (id(request.model), request.signature)
+        with self._cond:
+            self._inflight[key] += 1
+            self._inflight_total += 1
+        try:
+            inner = self._route(request)
+        except BaseException as exc:  # noqa: BLE001 - fail this request only
+            self._release(request, key, None, exc)
+            return
+        inner.add_done_callback(
+            lambda f: self._release(request, key, f, None))
+
+    def _route(self, request: _QoSRequest) -> Future:
+        """Route into the artifact's batcher under the dispatch RetryPolicy.
+
+        A request with a deadline gets its *remaining* budget installed
+        as the policy's ``deadline_s`` (the PR 8 deadline-budget
+        mechanism), so re-routing around an invalidated artifact never
+        outlives the request.
+        """
+        policy = self.config.dispatch_retry
+        if request.deadline is not None:
+            remaining = request.deadline - self._clock()
+            if remaining <= 0:
+                raise DeadlineExpired(
+                    f"deadline budget exhausted before dispatch "
+                    f"(tenant {request.tenant!r})")
+            policy = dataclasses.replace(policy, deadline_s=remaining)
+
+        def attempt() -> Future:
+            future, _ = self._engine._route_once(
+                request.model, request.signature, request.arrays,
+                request.batch_len, partition=request.tenant)
+            return future
+
+        return policy.call(attempt)
+
+    def _release(self, request: _QoSRequest, key, inner: Optional[Future],
+                 exc: Optional[BaseException]) -> None:
+        with self._cond:
+            self._inflight[key] -= 1
+            if self._inflight[key] <= 0:
+                del self._inflight[key]
+            self._inflight_total -= 1
+            state = self._queue.tenant_state(request.tenant)
+            failed = exc is not None or (inner is not None
+                                         and inner.exception() is not None)
+            if failed:
+                state.failed += 1
+            else:
+                state.completed += 1
+            self._cond.notify_all()
+        self._count_done(request.tenant, "failed" if failed else "ok")
+        if exc is not None:
+            request.future.set_exception(exc)
+        elif inner is not None:
+            inner_exc = inner.exception()
+            if inner_exc is not None:
+                request.future.set_exception(inner_exc)
+            else:
+                request.future.set_result(inner.result())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` (or :meth:`close`) has begun."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Start rejecting new submissions without waiting for the queue."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop admitting, let queued + in-flight requests finish.
+
+        New submissions are rejected with :class:`EngineOverloaded`
+        immediately; every already-admitted request runs to completion.
+        Returns ``True`` once the queue and the in-flight set are empty,
+        ``False`` on timeout (work may still be running).
+        """
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            while self._queue.depth > 0 or self._inflight_total > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+        return True
+
+    def close(self, drain_timeout: float = 5.0) -> None:
+        """Drain briefly, fail whatever is still queued, stop the thread."""
+        self.drain(timeout=drain_timeout)
+        with self._cond:
+            self._closed = True
+            leftovers = self._queue.drain_all()
+            self._cond.notify_all()
+        for request in leftovers:
+            request.future.set_exception(EngineOverloaded(
+                "engine shut down before the request was dispatched"))
+        if threading.current_thread() is not self._thread:
+            self._thread.join(timeout=2.0)
+        self._registry.unregister_collector(self._collect)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict]:
+        """Per-tenant admission counters and queue depths."""
+        with self._cond:
+            tenants = {
+                name: {
+                    "weight": state.config.weight,
+                    "queued": len(state.queue),
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                    "expired": state.expired,
+                    "completed": state.completed,
+                    "failed": state.failed,
+                }
+                for name, state in self._queue._tenants.items()
+            }
+            return {
+                "tenants": tenants,
+                "depth": self._queue.depth,
+                "inflight": self._inflight_total,
+                "draining": self._draining,
+            }
